@@ -1,0 +1,97 @@
+// Command harmonia-bench regenerates the paper's evaluation artifacts:
+// every table and figure of the motivation (§2) and evaluation (§5)
+// sections, printed as labelled series and tables.
+//
+// Usage:
+//
+//	harmonia-bench            # run everything
+//	harmonia-bench -list      # list experiment IDs
+//	harmonia-bench -run fig10a,fig18b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"harmonia/internal/bench"
+)
+
+// csver is implemented by figures and tables.
+type csver interface{ CSV() string }
+
+// writeCSV stores an experiment's data as <dir>/<id>.csv.
+func writeCSV(dir, id string, out fmt.Stringer) error {
+	c, ok := out.(csver)
+	if !ok {
+		return fmt.Errorf("%s: output has no CSV form", id)
+	}
+	return os.WriteFile(filepath.Join(dir, id+".csv"), []byte(c.CSV()), 0o644)
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations")
+	csvDir := flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *run == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(out.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, out); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed++
+			}
+		}
+	}
+	if *ablations {
+		tab, err := bench.Ablations()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			failed++
+		} else {
+			fmt.Println(tab.String())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

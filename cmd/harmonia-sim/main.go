@@ -1,0 +1,185 @@
+// Command harmonia-sim runs a closed-loop, event-driven simulation of
+// an application under a configurable offered load and prints the
+// windowed statistics the RBB monitoring exposes: throughput, loss and
+// queue usage over time.
+//
+// Usage:
+//
+//	harmonia-sim -app sec-gateway -offered 120 -pkt 512 -duration 200us
+//	harmonia-sim -app layer4-lb -offered 60 -windows 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/ip"
+	"harmonia/internal/metrics"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "sec-gateway", "application: sec-gateway | layer4-lb | rbb")
+	offered := flag.Float64("offered", 90, "offered load in Gbps (capped by the line rate)")
+	pktBytes := flag.Int("pkt", 512, "packet size in bytes")
+	windows := flag.Int("windows", 15, "number of 10us stat windows to simulate")
+	userClk := flag.Float64("userclk", 250, "role-side clock in MHz (app rbb only; slow clocks overload)")
+	flag.Parse()
+
+	if err := run(*appName, *offered, *pktBytes, *windows, *userClk); err != nil {
+		fmt.Fprintln(os.Stderr, "harmonia-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// trafficSink adapts an application to the generator loop.
+type trafficSink struct {
+	process func(now sim.Time, p *net.Packet) bool
+	rx      func() (units, bytes, drops int64)
+	line    float64
+}
+
+func makeSink(appName string, userClkMHz float64) (*trafficSink, error) {
+	switch appName {
+	case "rbb":
+		// A raw Network RBB with a configurable role clock: slowing the
+		// role below the line rate overloads the ingress buffer and the
+		// monitoring reports tail drops.
+		n, err := rbb.NewNetwork(platform.Xilinx, ip.Speed100G,
+			sim.NewClock("user", userClkMHz), apps.UserWidth)
+		if err != nil {
+			return nil, err
+		}
+		n.Filter.SetEnabled(false)
+		n.Director.AddTenant(0, 0, 64)
+		n.Director.SetDefaultTenant(0)
+		return &trafficSink{
+			process: func(now sim.Time, p *net.Packet) bool {
+				_, _, ok := n.Ingress(now, p)
+				return ok
+			},
+			rx: func() (int64, int64, int64) {
+				s := n.RxStats()
+				return s.Units, s.Bytes, s.Drops
+			},
+			line: n.LineRateGbps(),
+		}, nil
+	case "sec-gateway":
+		g, err := apps.NewSecGateway(platform.Xilinx, true)
+		if err != nil {
+			return nil, err
+		}
+		g.DeployPolicy(apps.Policy{SrcPrefix: net.IPv4(192, 168, 0, 0), PrefixLen: 16, Action: apps.Deny})
+		return &trafficSink{
+			process: func(now sim.Time, p *net.Packet) bool {
+				ok, _ := g.Process(now, p)
+				return ok
+			},
+			rx: func() (int64, int64, int64) {
+				s := g.Net.RxStats()
+				return s.Units, s.Bytes, s.Drops
+			},
+			line: g.Net.LineRateGbps(),
+		}, nil
+	case "layer4-lb":
+		lb, err := apps.NewLayer4LB(platform.Xilinx, true)
+		if err != nil {
+			return nil, err
+		}
+		vip := net.IPv4(20, 0, 0, 1)
+		if err := lb.AddVIP(vip, []net.IPAddr{
+			net.IPv4(10, 0, 0, 1), net.IPv4(10, 0, 0, 2), net.IPv4(10, 0, 0, 3),
+		}); err != nil {
+			return nil, err
+		}
+		return &trafficSink{
+			process: func(now sim.Time, p *net.Packet) bool {
+				p.DstIP = vip
+				_, _, ok := lb.Process(now, p)
+				return ok
+			},
+			rx: func() (int64, int64, int64) {
+				s := lb.Net.RxStats()
+				return s.Units, s.Bytes, s.Drops
+			},
+			line: lb.Net.LineRateGbps(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q", appName)
+	}
+}
+
+func run(appName string, offeredGbps float64, pktBytes, windows int, userClkMHz float64) error {
+	if offeredGbps <= 0 || pktBytes < net.MinFrame || windows <= 0 {
+		return fmt.Errorf("invalid load configuration")
+	}
+	sink, err := makeSink(appName, userClkMHz)
+	if err != nil {
+		return err
+	}
+	if offeredGbps > sink.line {
+		// The wire cannot carry more than line rate.
+		offeredGbps = sink.line
+	}
+	eng := sim.NewEngine()
+	const window = 10 * sim.Microsecond
+	horizon := sim.Time(windows) * window
+
+	// Packet arrivals at the offered rate.
+	gap := sim.Time(float64((pktBytes+net.FrameOverhead)*8) / offeredGbps * float64(sim.Nanosecond))
+	if gap < 1 {
+		gap = 1
+	}
+	stream, err := workload.Packets(workload.PacketConfig{
+		Count: int(horizon/gap) + 1, Size: pktBytes, Flows: 256, Seed: 99,
+	})
+	if err != nil {
+		return err
+	}
+	idx := 0
+	var arrival func()
+	arrival = func() {
+		if idx >= len(stream) || eng.Now() >= horizon {
+			return
+		}
+		sink.process(eng.Now(), stream[idx])
+		idx++
+		eng.After(gap, arrival)
+	}
+	eng.After(gap, arrival)
+
+	bytesSampler, err := metrics.NewSampler(eng, window, windows, func() int64 {
+		_, b, _ := sink.rx()
+		return b
+	})
+	if err != nil {
+		return err
+	}
+	dropSampler, err := metrics.NewSampler(eng, window, windows, func() int64 {
+		_, _, d := sink.rx()
+		return d
+	})
+	if err != nil {
+		return err
+	}
+
+	eng.Run()
+
+	fmt.Printf("%s: offered %.0f Gbps of %dB packets into a %.0fG line\n",
+		appName, offeredGbps, pktBytes, sink.line)
+	fmt.Printf("%-10s %14s %14s\n", "window", "goodput-Gbps", "drops/s")
+	drops := dropSampler.Samples()
+	for i, s := range bytesSampler.Samples() {
+		fmt.Printf("%-10v %14.1f %14.3g\n", s.At, s.Rate*8/1e9, drops[i].Rate)
+	}
+	units, _, dropped := sink.rx()
+	fmt.Printf("\ntotals: %d delivered, %d dropped (loss %.1f%%)\n",
+		units, dropped, float64(dropped)/float64(units+dropped)*100)
+	return nil
+}

@@ -1,0 +1,150 @@
+// Command harmoniactl deploys an application on a simulated device and
+// drives it through the command-based interface — the standalone
+// control tool of §3.3.3.
+//
+// Usage:
+//
+//	harmoniactl -device device-a -app sec-gateway init-all
+//	harmoniactl -device device-b -app layer4-lb status
+//	harmoniactl -device device-a -app retrieval table-write -table 1 -index 5 -data 10,20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"harmonia"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/uck"
+)
+
+func main() {
+	deviceName := flag.String("device", "device-a", "target device")
+	appName := flag.String("app", "sec-gateway", "application to deploy")
+	rbbID := flag.Uint("rbb", uint(harmonia.RBBNetwork), "target RBB id")
+	instID := flag.Uint("inst", 0, "target instance id")
+	table := flag.Uint("table", 0, "table id for table ops")
+	index := flag.Uint("index", 0, "table index for table ops")
+	data := flag.String("data", "", "comma-separated 32-bit values for table-write")
+	flag.Parse()
+
+	op := flag.Arg(0)
+	if op == "" {
+		op = "status"
+	}
+	if err := run(*deviceName, *appName, op, uint8(*rbbID), uint8(*instID),
+		uint32(*table), uint32(*index), *data); err != nil {
+		fmt.Fprintln(os.Stderr, "harmoniactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deviceName, appName, op string, rbbID, instID uint8, table, index uint32, data string) error {
+	info, err := apps.Lookup(appName)
+	if err != nil {
+		return err
+	}
+	r, err := info.Role()
+	if err != nil {
+		return err
+	}
+	fw := harmonia.New()
+	dep, err := fw.Deploy(deviceName, r)
+	if err != nil {
+		return err
+	}
+	dev := dep.Device()
+	fmt.Printf("deployed %s on %s (bitstream %s)\n", appName, deviceName, dep.Bitstream())
+
+	switch op {
+	case "selftest":
+		results, ok := dep.SelfTest()
+		for _, res := range results {
+			mark := "PASS"
+			if !res.Pass {
+				mark = "FAIL"
+			}
+			fmt.Printf("%-18s %s  %s\n", res.Check, mark, res.Detail)
+		}
+		if !ok {
+			return fmt.Errorf("self-test failed")
+		}
+	case "modules":
+		for _, m := range dev.Modules() {
+			fmt.Printf("rbb=%d inst=%d %s\n", m.RBBID, m.InstanceID, m.Name)
+		}
+	case "init":
+		if err := dev.Init(rbbID, instID); err != nil {
+			return err
+		}
+		fmt.Printf("module %d/%d initialized\n", rbbID, instID)
+	case "init-all":
+		if err := dev.InitAll(); err != nil {
+			return err
+		}
+		fmt.Printf("all %d modules initialized in %v\n", len(dev.Modules()), dev.Uptime())
+	case "status":
+		s, err := dev.Status(rbbID, instID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("module %d/%d status = %s\n", rbbID, instID, statusName(s))
+	case "reset":
+		if err := dev.Reset(rbbID, instID); err != nil {
+			return err
+		}
+		fmt.Printf("module %d/%d reset\n", rbbID, instID)
+	case "table-write":
+		var values []uint32
+		for _, f := range strings.Split(data, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.ParseUint(f, 0, 32)
+			if err != nil {
+				return fmt.Errorf("bad data value %q: %w", f, err)
+			}
+			values = append(values, uint32(v))
+		}
+		if err := dev.WriteTable(rbbID, instID, table, index, values...); err != nil {
+			return err
+		}
+		fmt.Printf("table %d[%d] <- %v\n", table, index, values)
+	case "sensors":
+		temp, vccint, power, err := dev.Sensors()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("temp=%.1fC vccint=%dmV power=%.1fW\n",
+			float64(temp)/1000, vccint, float64(power)/1000)
+	case "table-read":
+		entry, err := dev.ReadTable(rbbID, instID, table, index)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("table %d[%d] = %v\n", table, index, entry)
+	default:
+		return fmt.Errorf("unknown op %q (modules|init|init-all|status|reset|sensors|selftest|table-write|table-read)", op)
+	}
+	return nil
+}
+
+func statusName(s uint32) string {
+	switch s {
+	case uck.StatusReset:
+		return "reset"
+	case uck.StatusInitializing:
+		return "initializing"
+	case uck.StatusReady:
+		return "ready"
+	case uck.StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", s)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestRunOps(t *testing.T) {
+	ops := []struct {
+		op   string
+		data string
+	}{
+		{"modules", ""},
+		{"init", ""},
+		{"init-all", ""},
+		{"status", ""},
+		{"reset", ""},
+		{"sensors", ""},
+		{"table-write", "1,2,3"},
+	}
+	for _, c := range ops {
+		if err := run("device-a", "sec-gateway", c.op, 1, 0, 0, 0, c.data); err != nil {
+			t.Errorf("op %s: %v", c.op, err)
+		}
+	}
+}
+
+func TestRunTableRoundTripAndErrors(t *testing.T) {
+	if err := run("device-a", "sec-gateway", "table-read", 1, 0, 0, 0, ""); err == nil {
+		t.Error("reading a missing table entry should fail")
+	}
+	if err := run("device-a", "sec-gateway", "bogus-op", 1, 0, 0, 0, ""); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if err := run("ghost", "sec-gateway", "status", 1, 0, 0, 0, ""); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run("device-a", "sec-gateway", "table-write", 1, 0, 0, 0, "xyz"); err == nil {
+		t.Error("bad data value accepted")
+	}
+}

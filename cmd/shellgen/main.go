@@ -1,0 +1,115 @@
+// Command shellgen builds the unified shell for a device, tailors it to
+// an application's demands, and prints the resource, configuration and
+// adapter report — the provider-side workflow of §4 stage 2.
+//
+// Usage:
+//
+//	shellgen -device device-a -app layer4-lb
+//	shellgen -device device-d -app retrieval -scripts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmonia/internal/adapter"
+	"harmonia/internal/apps"
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/platform"
+	"harmonia/internal/shell"
+)
+
+// exportCatalog writes the vendor IP catalog of the device's vendor as
+// packaged JSON (the IP-XACT-style interchange form).
+func exportCatalog(deviceName, path string) error {
+	dev, err := platform.Lookup(deviceName)
+	if err != nil {
+		return err
+	}
+	lib, err := ip.Catalog(dev.Vendor)
+	if err != nil {
+		return err
+	}
+	data, err := hdl.ExportLibrary(lib)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d modules to %s\n", lib.Len(), path)
+	return nil
+}
+
+func main() {
+	deviceName := flag.String("device", "device-a", "target device (device-a..device-d)")
+	appName := flag.String("app", "sec-gateway", "application whose demands tailor the shell")
+	scripts := flag.Bool("scripts", false, "also print the generated adapter scripts")
+	exportLib := flag.String("export-lib", "", "write the device vendor's IP catalog as JSON to this file")
+	flag.Parse()
+
+	if *exportLib != "" {
+		if err := exportCatalog(*deviceName, *exportLib); err != nil {
+			fmt.Fprintln(os.Stderr, "shellgen:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*deviceName, *appName, *scripts); err != nil {
+		fmt.Fprintln(os.Stderr, "shellgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(deviceName, appName string, scripts bool) error {
+	dev, err := platform.Lookup(deviceName)
+	if err != nil {
+		return err
+	}
+	info, err := apps.Lookup(appName)
+	if err != nil {
+		return err
+	}
+	unified, err := shell.BuildUnified(dev)
+	if err != nil {
+		return err
+	}
+	tailored, err := unified.Tailor(info.Demands)
+	if err != nil {
+		return err
+	}
+	rep, err := shell.Report(unified, tailored)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("shell for %s on %s (%s %s)\n", appName, dev.Name, dev.Vendor, dev.Chip.Name)
+	fmt.Printf("components: %v\n\n", tailored.ComponentNames())
+	fmt.Printf("%-12s %12s %12s %9s\n", "resource", "unified", "tailored", "saving")
+	for _, kind := range hdl.ResourceKinds {
+		u, _ := rep.UnifiedRes.Get(kind)
+		t, _ := rep.TailoredRes.Get(kind)
+		fmt.Printf("%-12s %12d %12d %8.1f%%\n", kind, u, t, rep.Savings[kind]*100)
+	}
+	fmt.Printf("\nconfiguration items: %d native -> %d role-oriented (%.1fx reduction)\n",
+		rep.NativeConfigs, rep.RoleConfigs, rep.ConfigRatio)
+	fmt.Printf("shell occupies %.1f%% of %s LUTs\n",
+		tailored.Utilization()["LUT"]*100, dev.Chip.Name)
+
+	if scripts {
+		devAd, err := adapter.NewDeviceAdapter(dev)
+		if err != nil {
+			return err
+		}
+		venAd, err := adapter.NewVendorAdapter(dev)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\n--- device adapter ---")
+		fmt.Print(devAd.Script())
+		fmt.Println("--- vendor adapter ---")
+		fmt.Print(venAd.Script())
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllAppsAndDevices(t *testing.T) {
+	for _, dev := range []string{"device-a"} {
+		for _, app := range []string{"sec-gateway", "layer4-lb", "retrieval", "board-test"} {
+			if err := run(dev, app, true); err != nil {
+				t.Errorf("run(%s, %s): %v", dev, app, err)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("ghost", "sec-gateway", false); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run("device-a", "ghost", false); err == nil {
+		t.Error("unknown app accepted")
+	}
+	// Demands the device cannot meet.
+	if err := run("device-c", "retrieval", false); err == nil {
+		t.Error("HBM app on memory-less device accepted")
+	}
+}
+
+func TestExportCatalog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := exportCatalog("device-d", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := exportCatalog("ghost", path); err == nil {
+		t.Error("unknown device accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package harmonia_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+
+	"harmonia"
+)
+
+// Deploying a role walks the full §4 lifecycle: adapters, unified
+// shell, hierarchical tailoring, dependency inspection and compilation.
+func ExampleFramework_Deploy() {
+	fw := harmonia.New()
+	role, err := harmonia.NewRole("example-app",
+		harmonia.Demands{
+			Network: &harmonia.NetworkDemand{Gbps: 100},
+			Host:    &harmonia.HostDemand{Queues: 8},
+		},
+		&harmonia.LogicModule{
+			Name: "example-logic",
+			Res:  harmonia.Resources{LUT: 10_000, REG: 15_000},
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dep, err := fw.Deploy("device-a", role)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("tailored:", dep.Shell().Tailored)
+	fmt.Println("components:", dep.Shell().ComponentNames())
+	// Output:
+	// tailored: true
+	// components: [host-pcie management network uck]
+}
+
+// The command-based interface replaces register choreography: one
+// module-init command brings a module up on any platform.
+func ExampleDevice_Init() {
+	fw := harmonia.New()
+	role, _ := harmonia.NewRole("example-app",
+		harmonia.Demands{Host: &harmonia.HostDemand{Queues: 4}},
+		&harmonia.LogicModule{Name: "logic", Res: harmonia.Resources{LUT: 1000}})
+	dep, err := fw.Deploy("device-d", role) // an Intel device
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev := dep.Device()
+	if err := dev.Init(harmonia.RBBHost, 0); err != nil {
+		fmt.Println(err)
+		return
+	}
+	ready, _ := dev.Ready(harmonia.RBBHost, 0)
+	fmt.Println("host RBB ready:", ready)
+	// Output:
+	// host RBB ready: true
+}
+
+// Tables program through commands too — the same calls on every device.
+func ExampleDevice_WriteTable() {
+	fw := harmonia.New()
+	role, _ := harmonia.NewRole("example-app",
+		harmonia.Demands{Network: &harmonia.NetworkDemand{Gbps: 25}},
+		&harmonia.LogicModule{Name: "logic", Res: harmonia.Resources{LUT: 1000}})
+	dep, err := fw.Deploy("device-b", role) // the in-house card
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dev := dep.Device()
+	if err := dev.WriteTable(harmonia.RBBNetwork, 0, 2, 10, 0xAB, 0xCD); err != nil {
+		fmt.Println(err)
+		return
+	}
+	entry, _ := dev.ReadTable(harmonia.RBBNetwork, 0, 2, 10)
+	fmt.Printf("%#x\n", entry)
+	// Output:
+	// [0xab 0xcd]
+}

@@ -1,0 +1,78 @@
+// RDMA example: the flow-level transport the Network RBB provides for
+// RDMA-class applications. Two queue pairs connect over lossy 100G
+// links; one-sided WRITEs and READs and two-sided SEND/RECV move real
+// bytes, exactly once and in order, even with frames dropped on the
+// wire.
+//
+//	go run ./examples/rdma
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"harmonia/internal/mem"
+	"harmonia/internal/net"
+	"harmonia/internal/sim"
+)
+
+func main() {
+	// Two endpoints; the A->B direction drops every 9th frame.
+	a, err := net.NewQP(1, mem.NewStore(), net.NewLossyLink("a->b", 100, sim.Microsecond, 9), 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := net.NewQP(2, mem.NewStore(), net.NewLossyLink("b->a", 100, sim.Microsecond, 0), 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Connect(a, b); err != nil {
+		log.Fatal(err)
+	}
+
+	// One-sided WRITE: 1MB lands in B's memory byte-exact despite loss.
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	a.Memory().Write(0, payload)
+	done, err := a.Post(0, net.WorkRequest{
+		ID: 1, Verb: net.VerbWrite, Bytes: len(payload), RemoteAddr: 0x10_0000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(b.Memory().Read(0x10_0000, len(payload)), payload) {
+		log.Fatal("remote memory corrupted")
+	}
+	gbps := float64(len(payload)*8) / done.Nanoseconds()
+	fmt.Printf("RDMA WRITE: 1MB in %v (%.1f Gbps) with %d retransmissions — data verified\n",
+		done, gbps, a.Retransmissions())
+
+	// One-sided READ: fetch it back.
+	_, err = a.Post(done, net.WorkRequest{
+		ID: 2, Verb: net.VerbRead, Bytes: 64, LocalAddr: 0x20_0000, RemoteAddr: 0x10_0000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RDMA READ: fetched %x...\n", a.Memory().Read(0x20_0000, 8))
+
+	// Two-sided SEND/RECV with completion queues.
+	b.PostRecv(0x30_0000, 256)
+	msg := []byte("send/recv over the reliable transport")
+	a.Memory().Write(0x40_0000, msg)
+	if _, err := a.Post(done, net.WorkRequest{
+		ID: 3, Verb: net.VerbSend, Bytes: len(msg), LocalAddr: 0x40_0000,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SEND delivered: %q\n", b.Memory().Read(0x30_0000, len(msg)))
+	for _, c := range a.Poll() {
+		fmt.Printf("  sender CQE: wr=%d verb=%s status=%d at %v\n", c.ID, c.Verb, c.Status, c.At)
+	}
+	for _, c := range b.Poll() {
+		fmt.Printf("  receiver CQE: wr=%d verb=%s status=%d at %v\n", c.ID, c.Verb, c.Status, c.At)
+	}
+}

@@ -1,0 +1,81 @@
+// Retrieval example: the embedding-retrieval accelerator of §5.1
+// (look-aside architecture). Loads a corpus into the Memory RBB,
+// answers top-K queries with verified results, and sweeps corpus size
+// to show the QPS shape of Fig. 17d.
+//
+//	go run ./examples/retrieval
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmonia"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/platform"
+	"harmonia/internal/workload"
+)
+
+func main() {
+	// Provider-side: deploy the role (HBM + DDR + host, no network).
+	info, err := apps.Lookup("retrieval")
+	if err != nil {
+		log.Fatal(err)
+	}
+	role, err := info.Role()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := harmonia.New()
+	dep, err := fw.Deploy("device-a", role)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed:", dep.Project().Name)
+	fmt.Println("tailored shell (no network RBB):", dep.Shell().ComponentNames())
+
+	// User-side: the functional engine with 64-dim embeddings and 32
+	// DSP lanes.
+	const dim, lanes, k = 64, 32, 10
+	r, err := apps.NewRetrieval(platform.Xilinx, dim, lanes, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := workload.Embeddings(5000, dim, 123)
+	if _, err := r.LoadCorpus(0, corpus); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus loaded: %d rows x %dB\n", len(corpus), r.RowBytes())
+
+	query := workload.Embeddings(1, dim, 999)[0].Vec
+	ids, done, err := r.Query(0, query, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-%d ids: %v\n", k, ids)
+	fmt.Printf("query latency: %v (device time)\n", done)
+
+	// Verify against brute force.
+	bestID, bestScore := uint32(0), float32(-1e30)
+	for _, row := range corpus {
+		if s := workload.Dot(query, row.Vec); s > bestScore {
+			bestID, bestScore = row.ID, s
+		}
+	}
+	if ids[0] != bestID {
+		log.Fatalf("top-1 mismatch: engine %d, brute force %d", ids[0], bestID)
+	}
+	fmt.Printf("top-1 verified against brute force (id=%d score=%.3f)\n\n", bestID, bestScore)
+
+	// The Fig. 17d sweep: QPS vs corpus size (analytic timing model for
+	// corpora too large to materialize).
+	fmt.Println("corpus-items    QPS")
+	for _, exp := range []int{3, 5, 7, 9} {
+		items := int64(1)
+		for i := 0; i < exp; i++ {
+			items *= 10
+		}
+		fmt.Printf("10^%-10d %10.1f\n", exp, r.QPS(items))
+	}
+}

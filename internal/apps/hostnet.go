@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/shell"
+	"harmonia/internal/sim"
+)
+
+// HostNetworkInfo describes the host-networking offload: checksum and
+// vSwitch-style flow processing moved from host CPUs into the FPGA.
+func HostNetworkInfo() Info {
+	return Info{
+		Name:         "host-network",
+		Architecture: BITW,
+		Kind:         "network",
+		Demands: shell.Demands{
+			Network: &shell.NetworkDemand{Gbps: 100, Director: true},
+			Memory:  []shell.MemoryDemand{{Kind: ip.DDR4Mem}},
+			Host:    &shell.HostDemand{Queues: 512},
+		},
+		RoleLoC:    19_000,
+		RoleRes:    hdl.Resources{LUT: 150_000, REG: 230_000, BRAM: 400, URAM: 64},
+		Categories: []string{"mac", "pcie-dma", "pcie-phy", "ddr4", "mgmt", "uck"},
+	}
+}
+
+// FlowAction is a vSwitch flow-table action.
+type FlowAction int
+
+// Flow actions.
+const (
+	ActionToHost FlowAction = iota
+	ActionDrop
+	ActionForward // hairpin back to the wire
+)
+
+// HostNetwork is the functional offload engine: ingress, checksum
+// offload, exact-match flow table, then delivery to host queues over
+// the Host RBB (or hairpin/drop).
+type HostNetwork struct {
+	Net  *rbb.NetworkRBB
+	Host *rbb.HostRBB
+	clk  *sim.Clock
+	// Flows is the two-stage vSwitch classifier (pinned exact entries
+	// plus priority wildcard rules).
+	Flows      *Classifier
+	toHost     int64
+	dropped    int64
+	hairpinned int64
+	csums      int64
+}
+
+// NewHostNetwork builds the offload engine on a vendor's RBBs at the
+// given PCIe configuration.
+func NewHostNetwork(vendor platform.Vendor, gen, lanes int, harmonia bool) (*HostNetwork, error) {
+	clk := UserClock()
+	n, err := rbb.NewNetwork(vendor, ip.Speed100G, clk, UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	h, err := rbb.NewHost(vendor, gen, lanes, ip.SGDMA, clk, UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	n.SetNative(!harmonia)
+	h.SetNative(!harmonia)
+	n.Filter.SetEnabled(false)
+	n.Director.AddTenant(0, 0, 512)
+	n.Director.SetDefaultTenant(0)
+	return &HostNetwork{
+		Net:   n,
+		Host:  h,
+		clk:   clk,
+		Flows: NewClassifier(),
+	}, nil
+}
+
+// InstallFlow pins an exact-match flow-table entry.
+func (hn *HostNetwork) InstallFlow(key net.FlowKey, action FlowAction) {
+	hn.Flows.Pin(key, action)
+}
+
+// InstallWildcard programs a masked rule in the wildcard table.
+func (hn *HostNetwork) InstallWildcard(r WildcardRule) error {
+	return hn.Flows.AddRule(r)
+}
+
+// checksum computes the offloaded Internet checksum over the packet's
+// pseudo-header material. It costs one role cycle per 64 bytes — the
+// pipeline processes a full user-width word per cycle.
+func (hn *HostNetwork) checksum(p *net.Packet) (uint16, int64) {
+	var hdr [12]byte
+	copy(hdr[0:4], p.SrcIP[:])
+	copy(hdr[4:8], p.DstIP[:])
+	hdr[9] = p.Proto
+	binary.BigEndian.PutUint16(hdr[10:12], uint16(p.WireBytes))
+	data := hdr[:]
+	if len(p.Payload) > 0 {
+		data = append(data, p.Payload...)
+	}
+	cycles := int64((p.WireBytes + UserWidth/8 - 1) / (UserWidth / 8))
+	hn.csums++
+	return net.Checksum(data), cycles
+}
+
+// Offload carries one packet through the engine: checksum, flow match,
+// then action. It returns the checksum, selected host queue (for
+// ActionToHost) and the completion time.
+func (hn *HostNetwork) Offload(now sim.Time, p *net.Packet) (csum uint16, queue int, done sim.Time, action FlowAction) {
+	in, q, ok := hn.Net.Ingress(now, p)
+	if !ok {
+		hn.dropped++
+		return 0, 0, in, ActionDrop
+	}
+	csum, cycles := hn.checksum(p)
+	t := in + hn.clk.CyclesTime(cycles+2) // checksum + flow match
+	act := hn.Flows.Classify(p.Flow())
+	switch act {
+	case ActionDrop:
+		hn.dropped++
+		return csum, 0, t, ActionDrop
+	case ActionForward:
+		hn.hairpinned++
+		return csum, 0, hn.Net.Egress(t, p), ActionForward
+	default:
+		hn.toHost++
+		doneT, err := hn.Host.Send(t, q, p.WireBytes)
+		if err != nil {
+			hn.dropped++
+			return csum, 0, t, ActionDrop
+		}
+		return csum, q, doneT, ActionToHost
+	}
+}
+
+// Stats reports per-action counts and checksum offload count.
+func (hn *HostNetwork) Stats() (toHost, dropped, hairpinned, checksums int64) {
+	return hn.toHost, hn.dropped, hn.hairpinned, hn.csums
+}

@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"testing"
+
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/sim"
+)
+
+func hnPacket(port uint16, size int) *net.Packet {
+	return &net.Packet{
+		SrcIP: net.IPv4(10, 0, 0, 1), DstIP: net.IPv4(10, 0, 0, 2),
+		Proto: net.ProtoTCP, SrcPort: port, DstPort: 8080,
+		WireBytes: size,
+	}
+}
+
+func newHN(t *testing.T) *HostNetwork {
+	t.Helper()
+	hn, err := NewHostNetwork(platform.Xilinx, 4, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hn
+}
+
+func TestHostNetworkDefaultToHost(t *testing.T) {
+	hn := newHN(t)
+	csum, q, done, act := hn.Offload(0, hnPacket(100, 512))
+	if act != ActionToHost {
+		t.Fatalf("action = %v", act)
+	}
+	if q < 0 || q >= 512 {
+		t.Errorf("queue %d out of tenant range", q)
+	}
+	if csum == 0 {
+		t.Error("checksum not computed")
+	}
+	if done <= 0 {
+		t.Error("offload took no time")
+	}
+	toHost, _, _, csums := hn.Stats()
+	if toHost != 1 || csums != 1 {
+		t.Errorf("stats: toHost=%d csums=%d", toHost, csums)
+	}
+}
+
+func TestHostNetworkFlowActions(t *testing.T) {
+	hn := newHN(t)
+	drop := hnPacket(200, 256)
+	fwd := hnPacket(300, 256)
+	hn.InstallFlow(drop.Flow(), ActionDrop)
+	hn.InstallFlow(fwd.Flow(), ActionForward)
+	if _, _, _, act := hn.Offload(0, drop); act != ActionDrop {
+		t.Errorf("drop rule applied %v", act)
+	}
+	if _, _, _, act := hn.Offload(0, fwd); act != ActionForward {
+		t.Errorf("forward rule applied %v", act)
+	}
+	_, dropped, hairpinned, _ := hn.Stats()
+	if dropped != 1 || hairpinned != 1 {
+		t.Errorf("dropped=%d hairpinned=%d", dropped, hairpinned)
+	}
+}
+
+func TestHostNetworkChecksumMatchesSoftware(t *testing.T) {
+	hn := newHN(t)
+	p := hnPacket(42, 128)
+	p.Payload = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	csum, _, _, _ := hn.Offload(0, p)
+	// Recompute in software over the same pseudo-header material.
+	var hdr [12]byte
+	copy(hdr[0:4], p.SrcIP[:])
+	copy(hdr[4:8], p.DstIP[:])
+	hdr[9] = p.Proto
+	hdr[10] = byte(p.WireBytes >> 8)
+	hdr[11] = byte(p.WireBytes)
+	want := net.Checksum(append(hdr[:], p.Payload...))
+	if csum != want {
+		t.Errorf("offloaded csum %#04x, want %#04x", csum, want)
+	}
+}
+
+func TestHostNetworkSameFlowSameQueue(t *testing.T) {
+	hn := newHN(t)
+	_, q1, _, _ := hn.Offload(0, hnPacket(77, 256))
+	_, q2, _, _ := hn.Offload(0, hnPacket(77, 256))
+	if q1 != q2 {
+		t.Error("same flow landed in different host queues")
+	}
+}
+
+func TestHostNetworkLatencyScalesWithSize(t *testing.T) {
+	// Larger packets pay more checksum cycles and more DMA time.
+	hn := newHN(t)
+	_, _, small, _ := hn.Offload(0, hnPacket(1, 64))
+	hn2 := newHN(t)
+	_, _, large, _ := hn2.Offload(0, hnPacket(1, 1024))
+	if large <= small {
+		t.Errorf("1024B offload %v not slower than 64B %v", large, small)
+	}
+	if large > 10*sim.Microsecond {
+		t.Errorf("offload latency %v unreasonably large", large)
+	}
+}

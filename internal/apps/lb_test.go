@@ -1,0 +1,185 @@
+package apps
+
+import (
+	"testing"
+
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+var (
+	vip      = net.IPv4(20, 0, 0, 1)
+	backends = []net.IPAddr{
+		net.IPv4(10, 0, 0, 1), net.IPv4(10, 0, 0, 2),
+		net.IPv4(10, 0, 0, 3), net.IPv4(10, 0, 0, 4),
+	}
+)
+
+func newLB(t *testing.T) *Layer4LB {
+	t.Helper()
+	lb, err := NewLayer4LB(platform.Xilinx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.AddVIP(vip, backends); err != nil {
+		t.Fatal(err)
+	}
+	return lb
+}
+
+func lbPacket(port uint16) *net.Packet {
+	return &net.Packet{
+		SrcIP: net.IPv4(1, 2, 3, 4), DstIP: vip,
+		Proto: net.ProtoTCP, SrcPort: port, DstPort: 80,
+		WireBytes: 256,
+	}
+}
+
+func TestLBStatefulPinning(t *testing.T) {
+	lb := newLB(t)
+	b1, _, ok := lb.Process(0, lbPacket(5000))
+	if !ok {
+		t.Fatal("flow not balanced")
+	}
+	// Same flow always hits the same backend.
+	for i := 0; i < 10; i++ {
+		b, _, ok := lb.Process(0, lbPacket(5000))
+		if !ok || b != b1 {
+			t.Fatalf("flow moved from %v to %v", b1, b)
+		}
+	}
+	hits, misses, _ := lb.Stats()
+	if misses != 1 || hits != 10 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+	if lb.Connections() != 1 {
+		t.Errorf("connections = %d", lb.Connections())
+	}
+}
+
+func TestLBSurvivesBackendRemoval(t *testing.T) {
+	// Statefulness: established flows keep their backend when the pool
+	// changes; only new flows see the new pool.
+	lb := newLB(t)
+	pinned, _, _ := lb.Process(0, lbPacket(6000))
+	if err := lb.RemoveBackend(vip, pinned); err != nil {
+		t.Fatal(err)
+	}
+	again, _, ok := lb.Process(0, lbPacket(6000))
+	if !ok || again != pinned {
+		t.Error("established flow rebalanced after pool change")
+	}
+	// New flows never land on the removed backend.
+	for port := uint16(7000); port < 7200; port++ {
+		b, _, ok := lb.Process(0, lbPacket(port))
+		if ok && b == pinned {
+			t.Fatal("new flow landed on drained backend")
+		}
+	}
+	if err := lb.RemoveBackend(vip, net.IPv4(9, 9, 9, 9)); err == nil {
+		t.Error("removing unknown backend should fail")
+	}
+	if err := lb.RemoveBackend(net.IPv4(9, 9, 9, 9), pinned); err == nil {
+		t.Error("unknown VIP should fail")
+	}
+}
+
+func TestLBSpreadsFlows(t *testing.T) {
+	lb := newLB(t)
+	counts := map[net.IPAddr]int{}
+	for port := uint16(1000); port < 2000; port++ {
+		b, _, ok := lb.Process(0, lbPacket(port))
+		if !ok {
+			t.Fatal("flow not balanced")
+		}
+		counts[b]++
+	}
+	if len(counts) != len(backends) {
+		t.Fatalf("flows reached %d backends, want %d", len(counts), len(backends))
+	}
+	for b, c := range counts {
+		if c < 150 || c > 350 {
+			t.Errorf("backend %v got %d of 1000 flows, want roughly even", b, c)
+		}
+	}
+}
+
+func TestLBUnknownVIPDrops(t *testing.T) {
+	lb := newLB(t)
+	p := lbPacket(1)
+	p.DstIP = net.IPv4(99, 99, 99, 99)
+	if _, _, ok := lb.Process(0, p); ok {
+		t.Error("packet to unknown VIP balanced")
+	}
+	_, _, noVIP := lb.Stats()
+	if noVIP != 1 {
+		t.Errorf("noVIP = %d", noVIP)
+	}
+	if err := lb.AddVIP(net.IPv4(20, 0, 0, 2), nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+}
+
+func TestLBThroughput(t *testing.T) {
+	lb := newLB(t)
+	pkts, _ := workload.Packets(workload.PacketConfig{
+		Count: 2000, Size: 512, Flows: 64, VIPs: []net.IPAddr{vip}, Seed: 3,
+	})
+	var done sim.Time
+	for _, p := range pkts {
+		_, d, ok := lb.Process(0, p)
+		if !ok {
+			t.Fatal("packet dropped")
+		}
+		done = d
+	}
+	gbps := float64(2000*512*8) / done.Nanoseconds()
+	if eff := net.EffectiveGbps(100, 512); gbps < eff*0.9 {
+		t.Errorf("sustained %.1f Gbps at 512B, want near %.1f", gbps, eff)
+	}
+	if lb.Connections() > 64 {
+		t.Errorf("connections = %d, want <= flow count", lb.Connections())
+	}
+}
+
+func TestLBBackendsSorted(t *testing.T) {
+	lb := newLB(t)
+	pool := lb.Backends(vip)
+	if len(pool) != 4 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	for i := 1; i < len(pool); i++ {
+		if pool[i-1].String() > pool[i].String() {
+			t.Error("pool not sorted")
+		}
+	}
+}
+
+func TestLBHeavyHitterHitRate(t *testing.T) {
+	// Under Zipf traffic the connection table absorbs almost all
+	// packets: hits vastly outnumber insertions.
+	lb := newLB(t)
+	flows, err := workload.ZipfFlows(5000, 512, 1.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		p := lbPacket(uint16(1000 + f))
+		if _, _, ok := lb.Process(0, p); !ok {
+			t.Fatal("packet dropped")
+		}
+	}
+	hits, misses, _ := lb.Stats()
+	if hits+misses != 5000 {
+		t.Fatalf("hits+misses = %d", hits+misses)
+	}
+	hitRate := float64(hits) / 5000
+	if hitRate < 0.85 {
+		t.Errorf("connection-table hit rate %.2f under zipf traffic, want > 0.85", hitRate)
+	}
+	if lb.Connections() != int(misses) {
+		t.Errorf("connections %d != misses %d", lb.Connections(), misses)
+	}
+}

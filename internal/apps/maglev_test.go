@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/net"
+)
+
+func pool(n int) []net.IPAddr {
+	out := make([]net.IPAddr, n)
+	for i := range out {
+		out[i] = net.IPv4(10, 0, byte(i>>8), byte(i))
+	}
+	return out
+}
+
+func TestMaglevValidation(t *testing.T) {
+	if _, err := NewMaglev(nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewMaglev(pool(maglevTableSize + 1)); err == nil {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestMaglevEvenShares(t *testing.T) {
+	// Each backend owns about 1/N of the table.
+	backends := pool(8)
+	m, err := NewMaglev(backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range backends {
+		share := m.Share(b)
+		if share < 0.08 || share > 0.17 {
+			t.Errorf("backend %v share = %.3f, want about 0.125", b, share)
+		}
+	}
+	if m.Share(net.IPv4(99, 99, 99, 99)) != 0 {
+		t.Error("foreign backend has a share")
+	}
+}
+
+func TestMaglevDeterministicLookup(t *testing.T) {
+	backends := pool(5)
+	m1, _ := NewMaglev(backends)
+	m2, _ := NewMaglev(backends)
+	key := net.FlowKey{SrcIP: net.IPv4(1, 2, 3, 4), DstIP: net.IPv4(20, 0, 0, 1),
+		Proto: net.ProtoTCP, SrcPort: 1234, DstPort: 80}
+	if m1.Lookup(key) != m2.Lookup(key) {
+		t.Error("identical tables disagree")
+	}
+	if m1.Disruption(m2) != 0 {
+		t.Error("identical tables report disruption")
+	}
+}
+
+func TestMaglevMinimalDisruption(t *testing.T) {
+	// The consistency headline: removing one of N backends remaps about
+	// 1/N of the table, far below what mod-hash would (which remaps
+	// ~ (N-1)/N of entries).
+	const n = 10
+	backends := pool(n)
+	full, err := NewMaglev(backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewMaglev(backends[1:]) // drop backend 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := full.Disruption(reduced)
+	// All of backend 0's ~10% must move, plus a small consistency tax.
+	if d < 0.08 {
+		t.Errorf("disruption %.3f too low — backend 0's entries must move", d)
+	}
+	if d > 0.25 {
+		t.Errorf("disruption %.3f, want close to 1/N (~0.10-0.2)", d)
+	}
+	// Compare with naive mod-hash disruption, which reshuffles nearly
+	// everything when the modulus changes.
+	modDisrupt := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		key := net.FlowKey{SrcIP: net.IPv4(1, 1, byte(i>>8), byte(i)),
+			DstIP: net.IPv4(20, 0, 0, 1), Proto: net.ProtoTCP,
+			SrcPort: uint16(i), DstPort: 80}
+		h := key.Hash()
+		if backends[h%uint64(n)] != backends[1:][h%uint64(n-1)] {
+			modDisrupt++
+		}
+	}
+	naive := float64(modDisrupt) / trials
+	if d >= naive {
+		t.Errorf("maglev disruption %.3f not below naive mod-hash %.3f", d, naive)
+	}
+}
+
+func TestMaglevSurvivingMappingsStable(t *testing.T) {
+	// Flows that mapped to surviving backends overwhelmingly keep them.
+	const n = 8
+	backends := pool(n)
+	full, _ := NewMaglev(backends)
+	reduced, _ := NewMaglev(backends[1:])
+	kept, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		key := net.FlowKey{SrcIP: net.IPv4(2, 2, byte(i>>8), byte(i)),
+			DstIP: net.IPv4(20, 0, 0, 1), Proto: net.ProtoTCP,
+			SrcPort: uint16(i), DstPort: 443}
+		before := full.Lookup(key)
+		if before == backends[0] {
+			continue // this flow's backend was drained
+		}
+		total++
+		if reduced.Lookup(key) == before {
+			kept++
+		}
+	}
+	if frac := float64(kept) / float64(total); frac < 0.90 {
+		t.Errorf("only %.2f of surviving mappings stable, want > 0.90", frac)
+	}
+}
+
+func TestMaglevLookupAlwaysInPool(t *testing.T) {
+	backends := pool(6)
+	m, _ := NewMaglev(backends)
+	inPool := map[net.IPAddr]bool{}
+	for _, b := range backends {
+		inPool[b] = true
+	}
+	f := func(sp, dp uint16, a, b, c, d byte) bool {
+		key := net.FlowKey{SrcIP: net.IPAddr{a, b, c, d}, DstIP: net.IPv4(20, 0, 0, 1),
+			Proto: net.ProtoTCP, SrcPort: sp, DstPort: dp}
+		return inPool[m.Lookup(key)]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaglevSingleBackend(t *testing.T) {
+	m, err := NewMaglev(pool(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := net.FlowKey{SrcPort: 1}
+	if m.Lookup(key) != pool(1)[0] {
+		t.Error("single-backend lookup wrong")
+	}
+	if m.Share(pool(1)[0]) != 1 {
+		t.Error("single backend should own the whole table")
+	}
+}

@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/shell"
+	"harmonia/internal/sim"
+)
+
+// SecGatewayInfo describes the DCI access-control gateway: a
+// bump-in-the-wire security appliance filtering cross-network malicious
+// traffic against deployed policies.
+func SecGatewayInfo() Info {
+	return Info{
+		Name:         "sec-gateway",
+		Architecture: BITW,
+		Kind:         "security",
+		Demands: shell.Demands{
+			Network: &shell.NetworkDemand{Gbps: 100, Filter: true},
+			Memory:  []shell.MemoryDemand{{Kind: ip.DDR4Mem}},
+			Host:    &shell.HostDemand{Bulk: true, Queues: 16},
+		},
+		RoleLoC:    5_200,
+		RoleRes:    hdl.Resources{LUT: 78_000, REG: 120_000, BRAM: 180, URAM: 16},
+		Categories: []string{"mac", "pcie-dma", "pcie-phy", "ddr4", "mgmt", "uck"},
+	}
+}
+
+// PolicyAction is what a matching rule does.
+type PolicyAction int
+
+// Policy actions.
+const (
+	Deny PolicyAction = iota
+	Allow
+)
+
+// Policy is one access-control rule: a source prefix and an action.
+type Policy struct {
+	SrcPrefix net.IPAddr
+	PrefixLen int
+	Action    PolicyAction
+}
+
+// matches reports whether ip falls in the rule's prefix.
+func (p Policy) matches(ip net.IPAddr) bool {
+	if p.PrefixLen <= 0 {
+		return true
+	}
+	bits := p.PrefixLen
+	for i := 0; i < 4 && bits > 0; i++ {
+		take := bits
+		if take > 8 {
+			take = 8
+		}
+		mask := byte(0xff) << (8 - take)
+		if ip[i]&mask != p.SrcPrefix[i]&mask {
+			return false
+		}
+		bits -= take
+	}
+	return true
+}
+
+// SecGateway is the functional gateway: ingress through the Network
+// RBB, longest-prefix policy check in role logic, egress back to the
+// wire for allowed traffic.
+type SecGateway struct {
+	Net      *rbb.NetworkRBB
+	policies []Policy
+	// policyCycles models the role's per-packet pipeline cost.
+	clk     *sim.Clock
+	allowed int64
+	denied  int64
+}
+
+// NewSecGateway builds the gateway on a vendor's 100G Network RBB.
+// When harmonia is false the datapath runs in native mode (no wrapper
+// pipeline), the Fig. 17a baseline.
+func NewSecGateway(vendor platform.Vendor, harmonia bool) (*SecGateway, error) {
+	clk := UserClock()
+	n, err := rbb.NewNetwork(vendor, ip.Speed100G, clk, UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	n.SetNative(!harmonia)
+	// The gateway inspects all traffic crossing it.
+	n.Filter.SetEnabled(false)
+	n.Director.AddTenant(0, 0, 16)
+	n.Director.SetDefaultTenant(0)
+	return &SecGateway{Net: n, clk: clk}, nil
+}
+
+// DeployPolicy appends a rule; rules evaluate in order, first match
+// wins, default allow.
+func (g *SecGateway) DeployPolicy(p Policy) error {
+	if p.PrefixLen < 0 || p.PrefixLen > 32 {
+		return fmt.Errorf("apps: invalid prefix length %d", p.PrefixLen)
+	}
+	g.policies = append(g.policies, p)
+	return nil
+}
+
+// decide evaluates the policy chain.
+func (g *SecGateway) decide(p *net.Packet) PolicyAction {
+	for _, rule := range g.policies {
+		if rule.matches(p.SrcIP) {
+			return rule.Action
+		}
+	}
+	return Allow
+}
+
+// Process carries one packet through the gateway. Allowed packets exit
+// on the wire; denied packets are dropped after inspection.
+func (g *SecGateway) Process(now sim.Time, p *net.Packet) (allowed bool, done sim.Time) {
+	in, _, ok := g.Net.Ingress(now, p)
+	if !ok {
+		g.denied++
+		return false, in
+	}
+	// Role pipeline: policy lookup, a few cycles.
+	decide := in + g.clk.CyclesTime(4)
+	if g.decide(p) == Deny {
+		g.denied++
+		return false, decide
+	}
+	g.allowed++
+	return true, g.Net.Egress(decide, p)
+}
+
+// Allowed and Denied report policy outcomes.
+func (g *SecGateway) Allowed() int64 { return g.allowed }
+
+// Denied reports dropped packet count.
+func (g *SecGateway) Denied() int64 { return g.denied }

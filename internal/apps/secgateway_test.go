@@ -1,0 +1,137 @@
+package apps
+
+import (
+	"testing"
+
+	"harmonia/internal/metrics"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+func gwPacket(src net.IPAddr, size int) *net.Packet {
+	return &net.Packet{
+		SrcIP: src, DstIP: net.IPv4(10, 9, 0, 1),
+		Proto: net.ProtoTCP, SrcPort: 1234, DstPort: 443,
+		WireBytes: size,
+	}
+}
+
+func TestSecGatewayPolicyEnforcement(t *testing.T) {
+	g, err := NewSecGateway(platform.Xilinx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deny 192.168.0.0/16, allow everything else.
+	if err := g.DeployPolicy(Policy{SrcPrefix: net.IPv4(192, 168, 0, 0), PrefixLen: 16, Action: Deny}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := g.Process(0, gwPacket(net.IPv4(192, 168, 5, 5), 256)); ok {
+		t.Error("malicious source admitted")
+	}
+	if ok, _ := g.Process(0, gwPacket(net.IPv4(8, 8, 8, 8), 256)); !ok {
+		t.Error("benign source blocked")
+	}
+	if g.Allowed() != 1 || g.Denied() != 1 {
+		t.Errorf("allowed=%d denied=%d", g.Allowed(), g.Denied())
+	}
+	if err := g.DeployPolicy(Policy{PrefixLen: 99}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+func TestSecGatewayFirstMatchWins(t *testing.T) {
+	g, _ := NewSecGateway(platform.Xilinx, true)
+	// Allow 192.168.1.0/24 before denying 192.168.0.0/16.
+	g.DeployPolicy(Policy{SrcPrefix: net.IPv4(192, 168, 1, 0), PrefixLen: 24, Action: Allow})
+	g.DeployPolicy(Policy{SrcPrefix: net.IPv4(192, 168, 0, 0), PrefixLen: 16, Action: Deny})
+	if ok, _ := g.Process(0, gwPacket(net.IPv4(192, 168, 1, 7), 128)); !ok {
+		t.Error("whitelisted subnet blocked")
+	}
+	if ok, _ := g.Process(0, gwPacket(net.IPv4(192, 168, 2, 7), 128)); ok {
+		t.Error("denied subnet admitted")
+	}
+}
+
+func TestSecGatewayThroughputNearLineRate(t *testing.T) {
+	// Fig. 17a: the gateway forwards at (effective) line rate at large
+	// packets, with and without Harmonia.
+	for _, harmonia := range []bool{true, false} {
+		g, _ := NewSecGateway(platform.Xilinx, harmonia)
+		pkts, _ := workload.Packets(workload.PacketConfig{Count: 2000, Size: 1024, Flows: 32, Seed: 1})
+		var done sim.Time
+		for _, p := range pkts {
+			ok, d := g.Process(0, p)
+			if !ok {
+				t.Fatal("packet dropped")
+			}
+			done = d
+		}
+		gbps := float64(2000*1024*8) / done.Nanoseconds()
+		eff := net.EffectiveGbps(100, 1024)
+		if gbps < eff*0.95 {
+			t.Errorf("harmonia=%v sustained %.1f Gbps, want about %.1f", harmonia, gbps, eff)
+		}
+	}
+}
+
+func TestSecGatewayHarmoniaLatencyPenaltyTiny(t *testing.T) {
+	// Fig. 17a: the with-Harmonia latency increase is nanoseconds,
+	// under 1% of end-to-end.
+	with, _ := NewSecGateway(platform.Xilinx, true)
+	without, _ := NewSecGateway(platform.Xilinx, false)
+	p := gwPacket(net.IPv4(8, 8, 8, 8), 512)
+	_, dw := with.Process(0, p)
+	_, dn := without.Process(0, p)
+	if dw <= dn {
+		t.Error("harmonia path should add some latency")
+	}
+	delta := dw - dn
+	if delta > 100*sim.Nanosecond {
+		t.Errorf("wrapper penalty %v, want tens of ns", delta)
+	}
+	// Relative to the microsecond-scale end-to-end latency of a cloud
+	// request (device time + network/host RTT), the penalty is < 1%.
+	e2e := dn + 4*sim.Microsecond
+	if frac := float64(delta) / float64(e2e); frac > 0.01 {
+		t.Errorf("penalty fraction %.4f of end-to-end, want < 1%%", frac)
+	}
+}
+
+func TestSecGatewayRealTimeMonitoring(t *testing.T) {
+	// Event-driven run: packets arrive on the engine at 10 Gbps offered
+	// load while a sampler records windowed throughput — the real-time
+	// statistics the Network RBB monitoring exposes.
+	g, _ := NewSecGateway(platform.Xilinx, true)
+	eng := sim.NewEngine()
+	const pktBytes = 1024
+	gap := sim.Time(float64(pktBytes*8) / 10 * float64(sim.Nanosecond)) // 10 Gbps
+	var arrive func()
+	sent := 0
+	arrive = func() {
+		p := gwPacket(net.IPv4(8, 8, 8, 8), pktBytes)
+		g.Process(eng.Now(), p)
+		sent++
+		if sent < 500 {
+			eng.After(gap, arrive)
+		}
+	}
+	eng.After(gap, arrive)
+
+	sampler, err := metrics.NewSampler(eng, 10*sim.Microsecond, 30, func() int64 {
+		return g.Net.RxStats().Bytes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if g.Allowed() != 500 {
+		t.Fatalf("processed %d packets", g.Allowed())
+	}
+	// Steady-state windows should read about 10 Gbps = 1.25e9 B/s.
+	mean := sampler.MeanRate() * 8 / 1e9 // to Gbps
+	if mean < 8 || mean > 12 {
+		t.Errorf("monitored mean rate %.1f Gbps, want about 10", mean)
+	}
+}

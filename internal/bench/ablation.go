@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/ip"
+	"harmonia/internal/metrics"
+	"harmonia/internal/pcie"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/sim"
+	"harmonia/internal/wrapper"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, each as
+// an on/off comparison on one metric. Not a paper artifact; this repo's
+// addition.
+func Ablations() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "ablations", Title: "Design-choice ablations",
+		Columns: []string{"Choice", "Metric", "With", "Without", "Factor"},
+	}
+	add := func(choice, metric string, with, without float64) error {
+		factor := 0.0
+		if with > 0 {
+			factor = without / with
+		}
+		return tab.AddRow(choice, metric,
+			fmt.Sprintf("%.4g", with), fmt.Sprintf("%.4g", without), fmt.Sprintf("%.1fx", factor))
+	}
+
+	// Hot cache: latency of a repeat 64B read.
+	repeatRead := func(cacheOn bool) (float64, error) {
+		m, err := rbb.NewMemory(platform.Xilinx, ip.DDR4Mem, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, err
+		}
+		m.Cache.SetEnabled(cacheOn)
+		m.Read(0, 1<<20, 64)
+		_, done := m.Read(sim.Millisecond, 1<<20, 64)
+		return (done - sim.Millisecond).Nanoseconds(), nil
+	}
+	withCache, err := repeatRead(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutCache, err := repeatRead(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("hot-cache", "repeat-read ns", withCache, withoutCache); err != nil {
+		return nil, err
+	}
+
+	// Address interleaving: sustained sequential bandwidth.
+	seqBW := func(on bool) (float64, error) {
+		m, err := rbb.NewMemory(platform.Xilinx, ip.DDR4Mem, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, err
+		}
+		m.SetInterleaving(on)
+		var last sim.Time
+		const n, chunk = 4000, 256
+		for i := 0; i < n; i++ {
+			if d := m.Device().Access(0, int64(i)*chunk, chunk, false); d > last {
+				last = d
+			}
+		}
+		return metrics.Gbps(n*chunk, last), nil
+	}
+	bwOn, err := seqBW(true)
+	if err != nil {
+		return nil, err
+	}
+	bwOff, err := seqBW(false)
+	if err != nil {
+		return nil, err
+	}
+	// For bandwidth, "factor" reads better inverted: report off/on so
+	// the With column stays the better configuration.
+	if err := tab.AddRow("interleaving", "seq Gbps",
+		fmt.Sprintf("%.4g", bwOn), fmt.Sprintf("%.4g", bwOff),
+		fmt.Sprintf("%.1fx", bwOn/bwOff)); err != nil {
+		return nil, err
+	}
+
+	// Active-list scheduling: scan time per dispatch with 1024 queues.
+	schedCost := func(mode pcie.SchedulerMode) (float64, error) {
+		link, err := pcie.NewLink("l", 4, 16)
+		if err != nil {
+			return 0, err
+		}
+		cfg := pcie.DefaultEngineConfig()
+		cfg.Mode = mode
+		engine, err := pcie.NewEngine(link, cfg)
+		if err != nil {
+			return 0, err
+		}
+		const n = 200
+		for i := 0; i < n; i++ {
+			if err := engine.Post(0, 777, pcie.DeviceToHost, 64); err != nil {
+				return 0, err
+			}
+			engine.Step(0)
+		}
+		return float64(engine.SchedulingTime()) / n / float64(sim.Nanosecond), nil
+	}
+	active, err := schedCost(pcie.ActiveList)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := schedCost(pcie.FullScan)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("active-queue-list", "sched ns/op", active, scan); err != nil {
+		return nil, err
+	}
+
+	// Control-queue isolation: first command dispatch under backlog.
+	ctrlLatency := func(isolated bool) (float64, error) {
+		link, err := pcie.NewLink("l", 4, 16)
+		if err != nil {
+			return 0, err
+		}
+		cfg := pcie.DefaultEngineConfig()
+		cfg.ControlQueue = isolated
+		engine, err := pcie.NewEngine(link, cfg)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < 64; i++ {
+			engine.Post(0, 3, pcie.DeviceToHost, 4096)
+		}
+		engine.PostControl(0, 64)
+		if isolated {
+			done, _ := engine.Step(0)
+			return done.Nanoseconds(), nil
+		}
+		// Shared queue: the command waits behind the whole backlog.
+		return engine.Drain(0).Nanoseconds(), nil
+	}
+	iso, err := ctrlLatency(true)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := ctrlLatency(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := add("control-queue", "cmd dispatch ns", iso, shared); err != nil {
+		return nil, err
+	}
+
+	// Pipelined wrapper: sustained transfer rate vs store-and-forward.
+	clk := sim.NewClock("c", 322)
+	dp, err := wrapper.NewDataPath("dp", clk, 512, clk, 512)
+	if err != nil {
+		return nil, err
+	}
+	const beats = 2000
+	var pipeDone sim.Time
+	for i := 0; i < beats; i++ {
+		pipeDone = dp.Transfer(0, 64)
+	}
+	saf := sim.NewStoreAndForward("saf", clk, wrapper.PipelineDepth)
+	var safDone sim.Time
+	for i := 0; i < beats; i++ {
+		safDone = saf.Issue(0)
+	}
+	pipeRate := metrics.Gbps(beats*64, pipeDone)
+	safRate := metrics.Gbps(beats*64, safDone)
+	if err := tab.AddRow("pipelined-wrapper", "sustained Gbps",
+		fmt.Sprintf("%.4g", pipeRate), fmt.Sprintf("%.4g", safRate),
+		fmt.Sprintf("%.1fx", pipeRate/safRate)); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}

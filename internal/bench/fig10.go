@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"harmonia/internal/apps"
+	"harmonia/internal/ip"
+	"harmonia/internal/metrics"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+// wrapperSweep runs a native-vs-wrapped throughput/latency sweep and
+// assembles the four-series figure shape used by Figs. 10a-c.
+func wrapperSweep(id, title, xLabel string, xs []int,
+	run func(x int, native bool) (gbps float64, lat sim.Time, err error)) (*metrics.Figure, error) {
+
+	fig := &metrics.Figure{ID: id, Title: title}
+	natT := &metrics.Series{Label: "native-tpt", XLabel: xLabel, YLabel: "Gbps"}
+	wrpT := &metrics.Series{Label: "wrapped-tpt"}
+	natL := &metrics.Series{Label: "native-lat-ns"}
+	wrpL := &metrics.Series{Label: "wrapped-lat-ns"}
+	for _, x := range xs {
+		gN, lN, err := run(x, true)
+		if err != nil {
+			return nil, err
+		}
+		gW, lW, err := run(x, false)
+		if err != nil {
+			return nil, err
+		}
+		natT.Add(float64(x), gN)
+		wrpT.Add(float64(x), gW)
+		natL.Add(float64(x), lN.Nanoseconds())
+		wrpL.Add(float64(x), lW.Nanoseconds())
+	}
+	fig.Series = append(fig.Series, natT, wrpT, natL, wrpL)
+	return fig, nil
+}
+
+// Fig10a: MAC loopback throughput/latency, native interface vs through
+// the wrapper, packet sizes 64-1024B.
+func Fig10a() (*metrics.Figure, error) {
+	const pkts = 2000
+	run := func(size int, native bool) (float64, sim.Time, error) {
+		n, err := rbb.NewNetwork(platform.Xilinx, ip.Speed100G, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, 0, err
+		}
+		n.SetNative(native)
+		n.Filter.SetEnabled(false)
+		n.Director.AddTenant(0, 0, 8)
+		n.Director.SetDefaultTenant(0)
+		// Latency: one isolated packet.
+		lat, _, _ := n.Ingress(0, &net.Packet{WireBytes: size})
+		// Throughput: a saturating burst on a fresh instance.
+		n2, err := rbb.NewNetwork(platform.Xilinx, ip.Speed100G, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, 0, err
+		}
+		n2.SetNative(native)
+		n2.Filter.SetEnabled(false)
+		n2.Director.AddTenant(0, 0, 8)
+		n2.Director.SetDefaultTenant(0)
+		var done sim.Time
+		for i := 0; i < pkts; i++ {
+			done, _, _ = n2.Ingress(0, &net.Packet{WireBytes: size})
+		}
+		return metrics.Gbps(int64(pkts*size), done), lat, nil
+	}
+	return wrapperSweep("fig10a", "MAC module: native vs wrapper", "pkt-bytes", workload.PacketSizes, run)
+}
+
+// Fig10b: PCIe DMA host reads of 1K-16K, native vs wrapped.
+func Fig10b() (*metrics.Figure, error) {
+	const reads = 500
+	run := func(size int, native bool) (float64, sim.Time, error) {
+		h, err := rbb.NewHost(platform.Xilinx, 4, 8, ip.SGDMA, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, 0, err
+		}
+		h.SetNative(native)
+		lat, err := h.Receive(0, 0, size)
+		if err != nil {
+			return 0, 0, err
+		}
+		h2, err := rbb.NewHost(platform.Xilinx, 4, 8, ip.SGDMA, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, 0, err
+		}
+		h2.SetNative(native)
+		var done sim.Time
+		for i := 0; i < reads; i++ {
+			done, err = h2.Receive(0, i%16, size)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		return metrics.Gbps(int64(reads*size), done), lat, nil
+	}
+	return wrapperSweep("fig10b", "PCIe DMA module: native vs wrapper", "read-bytes", workload.ReadSizes, run)
+}
+
+// Fig10c: DDR random/sequential reads and writes at fixed 64B size,
+// native vs wrapped. X encodes the pattern index: 0 rand-read,
+// 1 rand-write, 2 seq-read, 3 seq-write.
+func Fig10c() (*metrics.Figure, error) {
+	const accesses = 5000
+	patterns := []struct {
+		mode  workload.AccessMode
+		write bool
+	}{
+		{workload.Random, false},
+		{workload.Random, true},
+		{workload.Sequential, false},
+		{workload.Sequential, true},
+	}
+	run := func(idx int, native bool) (float64, sim.Time, error) {
+		pat := patterns[idx]
+		m, err := rbb.NewMemory(platform.Xilinx, ip.DDR4Mem, apps.UserClock(), apps.UserWidth)
+		if err != nil {
+			return 0, 0, err
+		}
+		m.SetNative(native)
+		gen, err := workload.NewAccessGen(pat.mode, 64, 1<<30, 99)
+		if err != nil {
+			return 0, 0, err
+		}
+		buf := make([]byte, 64)
+		// Latency of one isolated access.
+		var lat sim.Time
+		if pat.write {
+			lat = m.Write(0, gen.Next(), buf)
+		} else {
+			_, lat = m.Read(0, gen.Next(), 64)
+		}
+		// Throughput: issue the whole burst at t=0 so the device and the
+		// wrapper pipeline independently; completion is the latest done.
+		var done sim.Time
+		for i := 0; i < accesses; i++ {
+			addr := gen.Next()
+			var d sim.Time
+			if pat.write {
+				d = m.Write(0, addr, buf)
+			} else {
+				_, d = m.Read(0, addr, 64)
+			}
+			if d > done {
+				done = d
+			}
+		}
+		return metrics.Gbps(int64(accesses*64), done), lat, nil
+	}
+	return wrapperSweep("fig10c", "DDR module: native vs wrapper (rr/rw/sr/sw)",
+		"pattern-index", []int{0, 1, 2, 3}, run)
+}

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"fmt"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/hdl"
+	"harmonia/internal/hostsw"
+	"harmonia/internal/ip"
+	"harmonia/internal/metrics"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/shell"
+	"harmonia/internal/wrapper"
+)
+
+// tailoredShells builds the unified shell on device A plus each
+// application's tailored instance.
+func tailoredShells() (*shell.Shell, map[string]*shell.Shell, error) {
+	unified, err := shell.BuildUnified(platform.DeviceA())
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[string]*shell.Shell)
+	for _, name := range apps.Names() {
+		info, err := apps.Lookup(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := unified.Tailor(info.Demands)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: tailoring for %s: %w", name, err)
+		}
+		out[name] = t
+	}
+	return unified, out, nil
+}
+
+// Fig11 compares per-resource-type occupancy of the unified shell
+// against application-tailored shells on device A (savings 3-25.1%).
+func Fig11() (*metrics.Table, error) {
+	unified, tailored, err := tailoredShells()
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]string{"Shell"}, hdl.ResourceKinds...)
+	cols = append(cols, "LUT-saving%")
+	tab := &metrics.Table{ID: "fig11", Title: "Shell resource occupancy (fraction of device)", Columns: cols}
+
+	addRow := func(name string, s *shell.Shell) error {
+		u := s.Utilization()
+		row := []string{name}
+		for _, kind := range hdl.ResourceKinds {
+			row = append(row, fmt.Sprintf("%.3f", u[kind]))
+		}
+		saving := 0.0
+		if name != "unified" {
+			rep, err := shell.Report(unified, s)
+			if err != nil {
+				return err
+			}
+			saving = rep.Savings["LUT"] * 100
+		}
+		row = append(row, fmt.Sprintf("%.1f", saving))
+		return tab.AddRow(row...)
+	}
+	if err := addRow("unified", unified); err != nil {
+		return nil, err
+	}
+	// The paper's figure shows the three application shells with
+	// distinct tailoring profiles.
+	for _, name := range []string{"sec-gateway", "layer4-lb", "retrieval"} {
+		if err := addRow(name, tailored[name]); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Fig12 compares configuration items of the native modules against the
+// role-oriented set each application actually configures (8.8-19.8x).
+func Fig12() (*metrics.Table, error) {
+	_, tailored, err := tailoredShells()
+	if err != nil {
+		return nil, err
+	}
+	tab := &metrics.Table{
+		ID: "fig12", Title: "Configuration items: native modules vs role-oriented",
+		Columns: []string{"App", "Native", "Role-oriented", "Reduction"},
+	}
+	for _, name := range apps.Names() {
+		s := tailored[name]
+		native := s.NativeParamCount()
+		exposed := len(s.ExposedParams())
+		ratio := 0.0
+		if exposed > 0 {
+			ratio = float64(native) / float64(exposed)
+		}
+		if err := tab.AddRow(name, fmt.Sprint(native), fmt.Sprint(exposed),
+			fmt.Sprintf("%.1fx", ratio)); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Fig13 counts host-software modifications per application when
+// migrating device C -> D, register interface vs command interface
+// (88-107x reduction).
+func Fig13() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "fig13", Title: "Software modifications migrating device C -> D",
+		Columns: []string{"App", "RegisterMods", "CommandMods", "Reduction"},
+	}
+	from, to := platform.DeviceC(), platform.DeviceD()
+	for _, name := range apps.Names() {
+		info, err := apps.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		// Restrict to categories available on both devices: neither C
+		// nor D carries HBM.
+		var cats []string
+		for _, c := range info.Categories {
+			if c == "hbm" {
+				c = "ddr4"
+			}
+			cats = append(cats, c)
+		}
+		rep, err := hostsw.MigrationCost(from, to, cats)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.AddRow(name, fmt.Sprint(rep.RegMods), fmt.Sprint(rep.CmdMods),
+			fmt.Sprintf("%.0fx", rep.Ratio)); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Fig14 reports RBB development reuse across vendors (devices A<->C)
+// and across chip families (devices A<->B).
+func Fig14() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "fig14", Title: "RBB reuse rates",
+		Columns: []string{"RBB", "Cross-vendor", "Cross-chip"},
+	}
+	descs := map[string]*rbb.Desc{}
+	n, err := rbb.NewNetworkDesc(platform.Xilinx, ip.Speed100G)
+	if err != nil {
+		return nil, err
+	}
+	descs["network"] = n
+	h, err := rbb.NewHostDesc(platform.Xilinx, 4, 8, ip.SGDMA)
+	if err != nil {
+		return nil, err
+	}
+	descs["host"] = h
+	m, err := rbb.NewMemoryDesc(platform.Xilinx, ip.DDR4Mem)
+	if err != nil {
+		return nil, err
+	}
+	descs["memory"] = m
+	for _, name := range sortedKeys(descs) {
+		d := descs[name]
+		cv := d.Reuse(rbb.CrossVendor)
+		cc := d.Reuse(rbb.CrossChip)
+		if err := tab.AddRow(name, fmt.Sprintf("%.2f", cv.ReuseRate),
+			fmt.Sprintf("%.2f", cc.ReuseRate)); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// baseComponentReuse gives the reuse fraction of framework-owned base
+// components (management, UCK) per migration scope: board management
+// is partially hardware-bound; the UCK is software on a soft core and
+// ports almost entirely.
+func baseComponentReuse(name string, scope rbb.MigrationScope) float64 {
+	switch scope {
+	case rbb.SamePlatform:
+		return 1
+	case rbb.CrossChip:
+		if name == "uck" {
+			return 0.97
+		}
+		return 0.85
+	default: // CrossVendor
+		if name == "uck" {
+			return 0.92
+		}
+		return 0.58
+	}
+}
+
+// appShellReuse computes the LoC-weighted handcraft reuse of an
+// application's tailored shell at a migration scope.
+func appShellReuse(s *shell.Shell, scope rbb.MigrationScope) float64 {
+	var total, reused float64
+	for _, c := range s.Components {
+		if c.RBB != nil {
+			rep := c.RBB.Reuse(scope)
+			total += float64(rep.TotalLoC)
+			reused += float64(rep.ReusedLoC)
+			continue
+		}
+		loc := float64(c.LoC().Handcraft)
+		total += loc
+		reused += loc * baseComponentReuse(c.Name, scope)
+	}
+	if total == 0 {
+		return 0
+	}
+	return reused / total
+}
+
+// Fig15 reports each application's shell reuse when migrating across
+// FPGAs (cross-vendor scope, 70-80% in the paper).
+func Fig15() (*metrics.Table, error) {
+	_, tailored, err := tailoredShells()
+	if err != nil {
+		return nil, err
+	}
+	tab := &metrics.Table{
+		ID: "fig15", Title: "Application shell reuse across FPGAs",
+		Columns: []string{"App", "Reuse", "Redev"},
+	}
+	for _, name := range apps.Names() {
+		r := appShellReuse(tailored[name], rbb.CrossVendor)
+		if err := tab.AddRow(name, fmt.Sprintf("%.2f", r), fmt.Sprintf("%.2f", 1-r)); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Fig16 reports the worst-case resource overhead of interface wrappers
+// per module and of the unified control kernel, across the evaluation
+// devices (paper: wrappers < 0.37%, UCK < 0.67%).
+func Fig16() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "fig16", Title: "Wrapper and control-kernel overheads (max % of device)",
+		Columns: []string{"Module", "MaxOverhead%"},
+	}
+	devices := []*platform.Device{
+		platform.DeviceA(), platform.DeviceB(), platform.DeviceC(), platform.DeviceD(),
+	}
+	mods := map[string]func(platform.Vendor) (*hdl.Module, error){
+		"mac": func(v platform.Vendor) (*hdl.Module, error) { return ip.MACModule(v, ip.Speed100G) },
+		"pcie": func(v platform.Vendor) (*hdl.Module, error) {
+			return ip.PCIePhyModule(v, 4, 16)
+		},
+		"dma": func(v platform.Vendor) (*hdl.Module, error) {
+			return ip.DMAModule(v, 4, 16, ip.SGDMA)
+		},
+		"ddr": func(v platform.Vendor) (*hdl.Module, error) { return ip.MemModule(v, ip.DDR4Mem) },
+	}
+	for _, name := range sortedKeys(mods) {
+		maxFrac := 0.0
+		for _, dev := range devices {
+			m, err := mods[name](dev.Vendor)
+			if err != nil {
+				return nil, err
+			}
+			_, overhead, err := wrapper.Wrap(m)
+			if err != nil {
+				return nil, err
+			}
+			if f := wrapper.OverheadFraction(overhead, dev.Chip.Capacity); f > maxFrac {
+				maxFrac = f
+			}
+		}
+		if err := tab.AddRow(name+"-wrapper", fmt.Sprintf("%.3f", maxFrac*100)); err != nil {
+			return nil, err
+		}
+	}
+	// Unified control kernel.
+	maxUCK := 0.0
+	for _, dev := range devices {
+		unified, err := shell.BuildUnified(dev)
+		if err != nil {
+			return nil, err
+		}
+		c, ok := unified.Component("uck")
+		if !ok {
+			return nil, fmt.Errorf("bench: shell lacks uck component")
+		}
+		if f := c.Resources().Utilization(dev.Chip.Capacity); f > maxUCK {
+			maxUCK = f
+		}
+	}
+	if err := tab.AddRow("uck", fmt.Sprintf("%.3f", maxUCK*100)); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+
+	"harmonia/internal/baseline"
+	"harmonia/internal/hostsw"
+	"harmonia/internal/ip"
+	"harmonia/internal/metrics"
+	"harmonia/internal/platform"
+	"harmonia/internal/shell"
+	"harmonia/internal/workload"
+)
+
+// benchDemands is the shell demand set of the framework benchmarks.
+func benchDemands() shell.Demands {
+	return shell.Demands{
+		Memory: []shell.MemoryDemand{{Kind: ip.DDR4Mem}},
+		Host:   &shell.HostDemand{Queues: 64},
+	}
+}
+
+// frameworkDevice returns the evaluation device each framework runs on
+// (Vitis and Coyote on device A, oneAPI on device D, Harmonia on any;
+// device A is used for the head-to-head rows).
+func frameworkDevice(fw *baseline.Framework) *platform.Device {
+	if fw.Name() == "oneapi" {
+		return platform.DeviceD()
+	}
+	return platform.DeviceA()
+}
+
+// Fig18a compares shell resource usage across frameworks as a
+// percentage of their device (Harmonia 3.5-14.9% lower).
+func Fig18a() (*metrics.Table, error) {
+	cols := append([]string{"Framework", "Device"}, "LUT%", "REG%", "BRAM%")
+	tab := &metrics.Table{ID: "fig18a", Title: "Framework shell resource usage", Columns: cols}
+	for _, fw := range baseline.All() {
+		dev := frameworkDevice(fw)
+		res, err := fw.ShellResources(dev, benchDemands())
+		if err != nil {
+			return nil, err
+		}
+		pct := func(kind string) string {
+			used, _ := res.Get(kind)
+			capTotal, _ := dev.Chip.Capacity.Get(kind)
+			return fmt.Sprintf("%.1f", float64(used)/float64(capTotal)*100)
+		}
+		if err := tab.AddRow(fw.Name(), dev.Name, pct("LUT"), pct("REG"), pct("BRAM")); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Fig18b reports matrix-multiplication rate versus DSP parallelism per
+// framework.
+func Fig18b() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fig18b", Title: "Matrix multiplication (64x64 SP, 1024 iters)"}
+	for _, fw := range baseline.All() {
+		s := &metrics.Series{Label: fw.Name(), XLabel: "parallelism", YLabel: "matrices/s"}
+		for _, par := range []int{4, 8, 16} {
+			rate, err := fw.MatMulRate(par)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(par), rate)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig18c reports database-access rate per access mode per framework.
+func Fig18c() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "fig18c", Title: "Database access (M vectors/s)",
+		Columns: []string{"Framework", "Random", "Fixed", "Sequential"},
+	}
+	for _, fw := range baseline.All() {
+		row := []string{fw.Name()}
+		for _, mode := range []workload.AccessMode{workload.Random, workload.Fixed, workload.Sequential} {
+			rate, err := fw.DBRate(baseline.DefaultDBConfig(mode))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.1f", rate/1e6))
+		}
+		if err := tab.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Fig18d reports TCP forwarding throughput and latency versus packet
+// size per framework.
+func Fig18d() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fig18d", Title: "TCP transmission"}
+	for _, fw := range baseline.All() {
+		tpt := &metrics.Series{Label: fw.Name() + "-tpt", XLabel: "pkt-bytes", YLabel: "Gbps"}
+		lat := &metrics.Series{Label: fw.Name() + "-lat-us"}
+		for _, size := range workload.TCPSizes {
+			res, err := fw.TCPRun(size, 1500)
+			if err != nil {
+				return nil, err
+			}
+			tpt.Add(float64(size), res.Gbps)
+			lat.Add(float64(size), res.Latency.Microseconds())
+		}
+		fig.Series = append(fig.Series, tpt, lat)
+	}
+	return fig, nil
+}
+
+// Table3 regenerates the device-support matrix.
+func Table3() (*metrics.Table, error) {
+	frameworks := baseline.All()
+	cols := []string{"Device"}
+	for _, fw := range frameworks {
+		cols = append(cols, fw.Name())
+	}
+	tab := &metrics.Table{ID: "table3", Title: "FPGA devices supported by each framework", Columns: cols}
+	rows := []struct {
+		label string
+		dev   *platform.Device
+	}{
+		{"Intel FPGAs", platform.DeviceD()},
+		{"Xilinx FPGAs", platform.DeviceA()},
+		{"In-house (Custom) FPGAs", platform.DeviceC()},
+	}
+	for _, r := range rows {
+		row := []string{r.label}
+		for _, fw := range frameworks {
+			mark := "no"
+			if fw.Supports(r.dev) {
+				mark = "yes"
+			}
+			row = append(row, mark)
+		}
+		if err := tab.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Table4 regenerates the register-vs-command configuration counts.
+func Table4() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "table4", Title: "Host configuration items: registers vs commands",
+		Columns: []string{"Interface", "Monitoring", "NetworkInit", "HostInteraction"},
+	}
+	regRow := []string{"registers"}
+	cmdRow := []string{"commands"}
+	for _, task := range hostsw.Tasks() {
+		regs, cmds, err := hostsw.ConfigCounts(task)
+		if err != nil {
+			return nil, err
+		}
+		regRow = append(regRow, fmt.Sprint(regs))
+		cmdRow = append(cmdRow, fmt.Sprint(cmds))
+	}
+	if err := tab.AddRow(regRow...); err != nil {
+		return nil, err
+	}
+	if err := tab.AddRow(cmdRow...); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}

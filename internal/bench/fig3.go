@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/hdl"
+	"harmonia/internal/hostsw"
+	"harmonia/internal/ip"
+	"harmonia/internal/metrics"
+	"harmonia/internal/platform"
+	"harmonia/internal/shell"
+	"harmonia/internal/uck"
+)
+
+// Fig3a computes the shell-vs-role split of handcrafted development
+// workload for each application (the paper measures 66-87% shell).
+// X encodes the application index; two series give the fractions.
+func Fig3a() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fig3a", Title: "Fraction of development workloads (shell vs role)"}
+	shellSeries := &metrics.Series{Label: "shell", XLabel: "app-index", YLabel: "fraction"}
+	roleSeries := &metrics.Series{Label: "role"}
+	for i, name := range apps.Names() {
+		info, err := apps.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		unified, err := shell.BuildUnified(platform.DeviceA())
+		if err != nil {
+			return nil, err
+		}
+		tailored, err := unified.Tailor(info.Demands)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		sh := tailored.Code().Handcraft
+		total := sh + info.RoleLoC
+		shellSeries.Add(float64(i), float64(sh)/float64(total))
+		roleSeries.Add(float64(i), float64(info.RoleLoC)/float64(total))
+	}
+	fig.Series = append(fig.Series, shellSeries, roleSeries)
+	return fig, nil
+}
+
+// Fig3b measures vendor-specific property disparities (interfaces and
+// configurations) between the Xilinx and Intel versions of each common
+// shell IP. X encodes the module index in the order DDR, TLP, DMA,
+// PCIe, MAC.
+func Fig3b() (*metrics.Figure, error) {
+	type pair struct {
+		name       string
+		xil, intel *hdl.Module
+	}
+	mk := func(name string, xf, inf func(platform.Vendor) (*hdl.Module, error)) (pair, error) {
+		x, err := xf(platform.Xilinx)
+		if err != nil {
+			return pair{}, err
+		}
+		i, err := inf(platform.Intel)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{name: name, xil: x, intel: i}, nil
+	}
+	var pairs []pair
+	ddr, err := mk("DDR", func(v platform.Vendor) (*hdl.Module, error) { return ip.MemModule(v, ip.DDR4Mem) },
+		func(v platform.Vendor) (*hdl.Module, error) { return ip.MemModule(v, ip.DDR4Mem) })
+	if err != nil {
+		return nil, err
+	}
+	tlp, err := mk("TLP", ip.TLPModule, ip.TLPModule)
+	if err != nil {
+		return nil, err
+	}
+	dmaF := func(v platform.Vendor) (*hdl.Module, error) { return ip.DMAModule(v, 4, 16, ip.SGDMA) }
+	dma, err := mk("DMA", dmaF, dmaF)
+	if err != nil {
+		return nil, err
+	}
+	phyF := func(v platform.Vendor) (*hdl.Module, error) { return ip.PCIePhyModule(v, 4, 16) }
+	phy, err := mk("PCIe", phyF, phyF)
+	if err != nil {
+		return nil, err
+	}
+	macF := func(v platform.Vendor) (*hdl.Module, error) { return ip.MACModule(v, ip.Speed100G) }
+	mac, err := mk("MAC", macF, macF)
+	if err != nil {
+		return nil, err
+	}
+	pairs = append(pairs, ddr, tlp, dma, phy, mac)
+
+	fig := &metrics.Figure{ID: "fig3b", Title: "Vendor-specific module differences (DDR TLP DMA PCIe MAC)"}
+	ifSeries := &metrics.Series{Label: "interface", XLabel: "module-index", YLabel: "differences"}
+	cfgSeries := &metrics.Series{Label: "configuration"}
+	for i, p := range pairs {
+		ifSeries.Add(float64(i), float64(hdl.InterfaceDiff(p.xil, p.intel)))
+		cfgSeries.Add(float64(i), float64(hdl.ConfigDiff(p.xil, p.intel)))
+	}
+	fig.Series = append(fig.Series, ifSeries, cfgSeries)
+	return fig, nil
+}
+
+// Fig3c reports the fleet history: new device models per year and the
+// total accelerator count.
+func Fig3c() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fig3c", Title: "Heterogeneous FPGA fleet growth"}
+	newDev := &metrics.Series{Label: "new-devices", XLabel: "year", YLabel: "count"}
+	total := &metrics.Series{Label: "total-fpgas"}
+	for _, y := range platform.FleetHistory() {
+		newDev.Add(float64(y.Year), float64(y.NewDevices))
+		total.Add(float64(y.Year), float64(y.TotalFPGAs))
+	}
+	fig.Series = append(fig.Series, newDev, total)
+	return fig, nil
+}
+
+// Fig3d contrasts the module-initialization register choreography of a
+// wait-style shell (device C) against an automation-style shell
+// (device D): the op-sequence shapes host software must track.
+func Fig3d() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "fig3d", Title: "Module init sequences across shells",
+		Columns: []string{"Shell", "Ops", "Waits", "Writes", "Reads", "DiffVsOther"},
+	}
+	cOps, err := hostsw.ModuleInitRegisters(platform.DeviceC(), "mac")
+	if err != nil {
+		return nil, err
+	}
+	dOps, err := hostsw.ModuleInitRegisters(platform.DeviceD(), "mac")
+	if err != nil {
+		return nil, err
+	}
+	count := func(ops []uck.RegOp) (waits, writes, reads int) {
+		for _, op := range ops {
+			switch op.Kind {
+			case uck.OpWait:
+				waits++
+			case uck.OpWrite:
+				writes++
+			default:
+				reads++
+			}
+		}
+		return
+	}
+	diff := hostsw.DiffRegOps(cOps, dOps)
+	cw, cwr, crd := count(cOps)
+	dw, dwr, drd := count(dOps)
+	if err := tab.AddRow("shell-A(device-c)", fmt.Sprint(len(cOps)), fmt.Sprint(cw),
+		fmt.Sprint(cwr), fmt.Sprint(crd), fmt.Sprint(diff)); err != nil {
+		return nil, err
+	}
+	if err := tab.AddRow("shell-B(device-d)", fmt.Sprint(len(dOps)), fmt.Sprint(dw),
+		fmt.Sprint(dwr), fmt.Sprint(drd), fmt.Sprint(diff)); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}

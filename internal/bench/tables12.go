@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/baseline"
+	"harmonia/internal/hostsw"
+	"harmonia/internal/metrics"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/shell"
+)
+
+// Table1 regenerates the framework-capability comparison. Unlike the
+// paper's hand-assessed matrix, every cell here is derived from this
+// repository's models: heterogeneity and host-interface cells from the
+// baseline framework models, the unified-shell cell from whether one
+// shell construction covers multiple vendors, and the portable-role
+// cell from whether the same demands tailor on multiple vendors'
+// devices.
+func Table1() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "table1", Title: "Framework capability comparison",
+		Columns: []string{"Framework", "Heterogeneity", "UnifiedShell", "PortableRole", "ConsistentHostIF"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	devices := []*platform.Device{
+		platform.DeviceA(), platform.DeviceB(), platform.DeviceC(), platform.DeviceD(),
+	}
+	demands := shell.Demands{Host: &shell.HostDemand{Queues: 8}}
+	for _, fw := range baseline.All() {
+		// Heterogeneity: supports devices from more than one vendor.
+		vendors := map[platform.Vendor]bool{}
+		for _, d := range devices {
+			if fw.Supports(d) {
+				vendors[d.Vendor] = true
+			}
+		}
+		hetero := len(vendors) > 1
+		// Unified shell: one shell construction succeeds on every
+		// supported device (only the tailoring framework does; the
+		// monolithic baselines ship per-series shells).
+		unifiedShell := fw.Tailors()
+		// Portable role: the same demands produce a working shell on
+		// at least two supported devices.
+		portable := 0
+		for _, d := range devices {
+			if !fw.Supports(d) {
+				continue
+			}
+			if _, err := fw.ShellResources(d, demands); err == nil {
+				portable++
+			}
+		}
+		// Consistent host interface: command-based (platform-neutral)
+		// rather than register-level.
+		consistent := !fw.UsesRegisterInterface()
+		if err := tab.AddRow(fw.Name(), yn(hetero), yn(unifiedShell),
+			yn(portable >= 2), yn(consistent)); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}
+
+// Table2 regenerates the experimental setup: the five applications with
+// their architectures and the four devices with their vendors, chips
+// and peripherals — read back from the implemented catalogs.
+func Table2() (*metrics.Table, error) {
+	tab := &metrics.Table{
+		ID: "table2", Title: "Applications and heterogeneous FPGA cards",
+		Columns: []string{"Entry", "Class", "Detail"},
+	}
+	for _, name := range apps.Names() {
+		info, err := apps.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := tab.AddRow(name, string(info.Architecture), info.Kind); err != nil {
+			return nil, err
+		}
+	}
+	for _, devName := range platform.CatalogNames() {
+		dev, err := platform.Lookup(devName)
+		if err != nil {
+			return nil, err
+		}
+		var parts []string
+		for _, p := range dev.Peripherals {
+			if p.Kind == platform.Host {
+				parts = append(parts, fmt.Sprintf("PCIe Gen%dx%d", p.PCIeGen, p.PCIeLanes))
+			} else if p.Count > 1 {
+				parts = append(parts, fmt.Sprintf("%sx%d", p.Model, p.Count))
+			} else {
+				parts = append(parts, p.Model)
+			}
+		}
+		detail := fmt.Sprintf("%s %s: %s", dev.Vendor, dev.Chip.Name, strings.Join(parts, ", "))
+		if err := tab.AddRow(devName, "device", detail); err != nil {
+			return nil, err
+		}
+	}
+	// The RBBs under evaluation (§5.1).
+	for _, kind := range []rbb.Kind{rbb.NetworkKind, rbb.MemoryKind, rbb.HostKind} {
+		if err := tab.AddRow(string(kind), "rbb", "evaluated building block"); err != nil {
+			return nil, err
+		}
+	}
+	// The configuration tasks of Table 4 (§5.1's software side).
+	for _, task := range hostsw.Tasks() {
+		if err := tab.AddRow(string(task), "sw-task", "host configuration activity"); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,30 @@
+package cmdif
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal drives the command parser with arbitrary bytes: it must
+// never panic, and anything it accepts must re-marshal to the same
+// bytes it consumed.
+func FuzzUnmarshal(f *testing.F) {
+	seed, _ := New(1, 0, TableWrite, 1, 2, 3).Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, rest, err := Unmarshal(raw)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-marshal: %v", err)
+		}
+		consumed := raw[:len(raw)-len(rest)]
+		if !bytes.Equal(out, consumed) {
+			t.Fatalf("re-marshal mismatch:\nconsumed %x\nremarshal %x", consumed, out)
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package hdl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// PackageFormatVersion is the current IP-package format revision —
+// the IP-XACT-style packaging metadata the vendor adapter's dependency
+// checks consume (§3.2).
+const PackageFormatVersion = 1
+
+// ipPackage is the on-disk envelope of a packaged module.
+type ipPackage struct {
+	FormatVersion int     `json:"format_version"`
+	Module        *Module `json:"module"`
+}
+
+// Export packages a module description as versioned JSON.
+func Export(m *Module) ([]byte, error) {
+	if m == nil || m.Name == "" {
+		return nil, fmt.Errorf("hdl: cannot export unnamed module")
+	}
+	return json.MarshalIndent(ipPackage{
+		FormatVersion: PackageFormatVersion,
+		Module:        m,
+	}, "", "  ")
+}
+
+// Import parses a packaged module, validating the format version and
+// required fields.
+func Import(data []byte) (*Module, error) {
+	var pkg ipPackage
+	if err := json.Unmarshal(data, &pkg); err != nil {
+		return nil, fmt.Errorf("hdl: malformed package: %w", err)
+	}
+	if pkg.FormatVersion != PackageFormatVersion {
+		return nil, fmt.Errorf("hdl: package format %d, this library reads %d",
+			pkg.FormatVersion, PackageFormatVersion)
+	}
+	if pkg.Module == nil || pkg.Module.Name == "" {
+		return nil, fmt.Errorf("hdl: package carries no named module")
+	}
+	if pkg.Module.Deps == nil {
+		pkg.Module.Deps = map[string]string{}
+	}
+	return pkg.Module, nil
+}
+
+// ExportLibrary packages every module of a library keyed by name.
+func ExportLibrary(l *Library) ([]byte, error) {
+	out := make(map[string]json.RawMessage, l.Len())
+	for _, name := range l.Names() {
+		m, err := l.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := Export(m)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = pkg
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportLibrary rebuilds a library from ExportLibrary output.
+func ImportLibrary(data []byte) (*Library, error) {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("hdl: malformed library: %w", err)
+	}
+	lib := NewLibrary()
+	for name, pkg := range raw {
+		m, err := Import(pkg)
+		if err != nil {
+			return nil, fmt.Errorf("hdl: module %q: %w", name, err)
+		}
+		if err := lib.Register(m); err != nil {
+			return nil, err
+		}
+	}
+	return lib, nil
+}

@@ -1,0 +1,108 @@
+package hdl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"harmonia/internal/proto"
+)
+
+func packagedModule() *Module {
+	return &Module{
+		Name:     "test-mac",
+		Vendor:   "xilinx",
+		Category: "mac",
+		Ports:    []proto.Interface{proto.NewAXI4Stream("rx", 512)},
+		Params:   []Param{{Name: "SPEED", Default: "100G", Scope: RoleOriented}},
+		Res:      Resources{LUT: 14_000, REG: 28_000, BRAM: 36},
+		Code:     LoC{Handcraft: 600, Generated: 9500},
+		Deps:     map[string]string{"cad": "vivado"},
+		FmaxMHz:  402,
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	m := packagedModule()
+	data, err := Export(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "format_version") {
+		t.Error("package lacks format version")
+	}
+	got, err := Import(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, m)
+	}
+}
+
+func TestExportValidation(t *testing.T) {
+	if _, err := Export(nil); err == nil {
+		t.Error("nil module exported")
+	}
+	if _, err := Export(&Module{}); err == nil {
+		t.Error("unnamed module exported")
+	}
+}
+
+func TestImportRejectsBadPackages(t *testing.T) {
+	if _, err := Import([]byte("{not json")); err == nil {
+		t.Error("malformed JSON imported")
+	}
+	if _, err := Import([]byte(`{"format_version":99,"module":{"Name":"x"}}`)); err == nil {
+		t.Error("future format version imported")
+	}
+	if _, err := Import([]byte(`{"format_version":1}`)); err == nil {
+		t.Error("empty package imported")
+	}
+	if _, err := Import([]byte(`{"format_version":1,"module":{"Name":""}}`)); err == nil {
+		t.Error("unnamed module imported")
+	}
+	// Missing deps map is normalized, not an error.
+	m, err := Import([]byte(`{"format_version":1,"module":{"Name":"x"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Deps == nil {
+		t.Error("deps not normalized")
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	lib := NewLibrary()
+	m1 := packagedModule()
+	m2 := packagedModule()
+	m2.Name = "test-dma"
+	m2.Category = "pcie-dma"
+	if err := lib.Register(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Register(m2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ExportLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportLibrary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("imported %d modules", got.Len())
+	}
+	back, err := got.Lookup("test-mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, m1) {
+		t.Error("library round trip mismatch")
+	}
+	if _, err := ImportLibrary([]byte("[]")); err == nil {
+		t.Error("non-object library imported")
+	}
+}

@@ -1,0 +1,166 @@
+package hostsw
+
+import (
+	"fmt"
+
+	"harmonia/internal/cmdif"
+	"harmonia/internal/pcie"
+	"harmonia/internal/sim"
+	"harmonia/internal/uck"
+)
+
+// CmdDriver is the command-based host driver: it marshals command
+// packets, moves them over the PCIe control queue (isolated from the
+// data path), lets the unified control kernel execute them, and returns
+// the response — steps 1-7 of the §3.3.3 walkthrough.
+type CmdDriver struct {
+	engine *pcie.Engine
+	kernel *uck.Kernel
+	issued int64
+	// inject optionally corrupts the marshalled command on the wire
+	// (fault injection); attempt counts from zero.
+	inject func(attempt int, buf []byte) []byte
+	// MaxRetries bounds checksum-failure retransmissions.
+	MaxRetries int
+	retries    int64
+}
+
+// NewCmdDriver builds a driver over a DMA engine and a control kernel.
+func NewCmdDriver(engine *pcie.Engine, kernel *uck.Kernel) (*CmdDriver, error) {
+	if engine == nil || kernel == nil {
+		return nil, fmt.Errorf("hostsw: command driver needs an engine and a kernel")
+	}
+	return &CmdDriver{engine: engine, kernel: kernel, MaxRetries: 3}, nil
+}
+
+// SetFaultInjector installs a wire-corruption hook for failure testing.
+func (d *CmdDriver) SetFaultInjector(fn func(attempt int, buf []byte) []byte) {
+	d.inject = fn
+}
+
+// Retries reports checksum-triggered retransmissions.
+func (d *CmdDriver) Retries() int64 { return d.retries }
+
+// Do issues one command at time now and returns the response and its
+// arrival time back at the host. The command really crosses the wire in
+// marshalled form: the kernel executes what it parses, and checksum
+// failures are NAKed and retransmitted (the CheckSum error handling of
+// Fig. 9).
+func (d *CmdDriver) Do(now sim.Time, p *cmdif.Packet) (*cmdif.Packet, sim.Time, error) {
+	buf, err := p.Marshal()
+	if err != nil {
+		return nil, now, err
+	}
+	t := now
+	for attempt := 0; ; attempt++ {
+		wire := buf
+		if d.inject != nil {
+			wire = d.inject(attempt, append([]byte(nil), buf...))
+		}
+		// Command transfer: the dedicated control queue keeps this
+		// isolated from data traffic.
+		if err := d.engine.PostControl(t, len(wire)); err != nil {
+			return nil, t, err
+		}
+		arrive, ok := d.engine.Step(t)
+		if !ok {
+			return nil, t, fmt.Errorf("hostsw: control transfer not dispatched")
+		}
+		parsed, _, perr := cmdif.Unmarshal(wire)
+		if perr != nil {
+			// NAK: the kernel rejects the corrupted command; the driver
+			// retransmits.
+			if attempt >= d.MaxRetries {
+				return nil, arrive, fmt.Errorf("hostsw: command dropped after %d attempts: %w",
+					attempt+1, perr)
+			}
+			d.retries++
+			t = arrive
+			continue
+		}
+		// Parse + execute in the control kernel.
+		resp, execDone, err := d.kernel.Execute(arrive, parsed)
+		if err != nil {
+			return nil, execDone, err
+		}
+		// Response upload through the same engine.
+		respBuf, err := resp.Marshal()
+		if err != nil {
+			return nil, execDone, err
+		}
+		done := d.engine.Link().Transfer(execDone, len(respBuf))
+		d.issued++
+		return resp, done, nil
+	}
+}
+
+// CmdWrite issues a write-style command (no payload expected back).
+func (d *CmdDriver) CmdWrite(now sim.Time, p *cmdif.Packet) (sim.Time, error) {
+	_, done, err := d.Do(now, p)
+	return done, err
+}
+
+// CmdRead issues a read-style command and returns the response payload.
+func (d *CmdDriver) CmdRead(now sim.Time, p *cmdif.Packet) ([]uint32, sim.Time, error) {
+	resp, done, err := d.Do(now, p)
+	if err != nil {
+		return nil, done, err
+	}
+	return resp.Data, done, nil
+}
+
+// Issued reports how many commands completed.
+func (d *CmdDriver) Issued() int64 { return d.issued }
+
+// RegDriver is the traditional register-level driver commercial
+// frameworks expose: every register operation is an individual PCIe
+// round trip performed by the host, and the host itself sequences the
+// platform-specific choreography.
+type RegDriver struct {
+	link   *pcie.Link
+	module *uck.Module
+	ops    int64
+	// PollTries models OpWait as repeated status reads.
+	PollTries int
+}
+
+// NewRegDriver builds a register driver for one module over a link.
+func NewRegDriver(link *pcie.Link, module *uck.Module) (*RegDriver, error) {
+	if link == nil || module == nil {
+		return nil, fmt.Errorf("hostsw: register driver needs a link and a module")
+	}
+	return &RegDriver{link: link, module: module, PollTries: 3}, nil
+}
+
+// regOpBytes is the TLP payload of one register access.
+const regOpBytes = 8
+
+// Run executes a register sequence, charging one PCIe round trip per
+// access (reads and waits also pay the completion return).
+func (d *RegDriver) Run(now sim.Time, ops []uck.RegOp) sim.Time {
+	t := now
+	for _, op := range ops {
+		switch op.Kind {
+		case uck.OpWrite:
+			t = d.link.Transfer(t, regOpBytes)
+			d.module.RegWrite(op.Addr, op.Value)
+			d.ops++
+		case uck.OpRead:
+			t = d.link.Transfer(t, regOpBytes)
+			d.module.RegRead(op.Addr)
+			t = d.link.Transfer(t, regOpBytes) // completion
+			d.ops++
+		case uck.OpWait:
+			for i := 0; i < d.PollTries; i++ {
+				t = d.link.Transfer(t, regOpBytes)
+				d.module.RegRead(op.Addr)
+				t = d.link.Transfer(t, regOpBytes)
+				d.ops++
+			}
+		}
+	}
+	return t
+}
+
+// Ops reports the register operations performed.
+func (d *RegDriver) Ops() int64 { return d.ops }

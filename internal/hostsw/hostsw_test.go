@@ -1,0 +1,329 @@
+package hostsw
+
+import (
+	"testing"
+
+	"harmonia/internal/cmdif"
+	"harmonia/internal/pcie"
+	"harmonia/internal/platform"
+	"harmonia/internal/uck"
+)
+
+func TestRegisterProcedureBudgets(t *testing.T) {
+	// Table 4: 84 / 115 / 60 register items per task.
+	want := map[Task]int{Monitoring: 84, NetworkInit: 115, HostConfig: 60}
+	for task, n := range want {
+		ops, err := RegisterProcedure(platform.DeviceC(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) != n {
+			t.Errorf("%s registers = %d, want %d", task, len(ops), n)
+		}
+	}
+	if _, err := RegisterProcedure(platform.DeviceC(), "bogus"); err == nil {
+		t.Error("unknown task should fail")
+	}
+}
+
+func TestCommandProcedureBudgets(t *testing.T) {
+	// Table 4: 4 / 5 / 4 commands per task.
+	want := map[Task]int{Monitoring: 4, NetworkInit: 5, HostConfig: 4}
+	for task, n := range want {
+		cmds, err := CommandProcedure(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmds) != n {
+			t.Errorf("%s commands = %d, want %d", task, len(cmds), n)
+		}
+	}
+	if _, err := CommandProcedure("bogus"); err == nil {
+		t.Error("unknown task should fail")
+	}
+}
+
+func TestTable4Simplification(t *testing.T) {
+	// Commands simplify configuration by 15-23x.
+	for _, task := range Tasks() {
+		regs, cmds, err := ConfigCounts(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(regs) / float64(cmds)
+		if ratio < 15 || ratio > 23 {
+			t.Errorf("%s ratio = %.1fx, want 15-23x", task, ratio)
+		}
+	}
+	if _, _, err := ConfigCounts("bogus"); err == nil {
+		t.Error("unknown task should fail")
+	}
+}
+
+func TestRegisterProceduresDifferAcrossVendors(t *testing.T) {
+	// The same task requires a different register choreography on a
+	// different vendor's device (Fig. 3d).
+	c, _ := RegisterProcedure(platform.DeviceC(), NetworkInit)
+	d, _ := RegisterProcedure(platform.DeviceD(), NetworkInit)
+	if DiffRegOps(c, d) == 0 {
+		t.Error("cross-vendor procedures should differ")
+	}
+	// Same platform: no differences.
+	c2, _ := RegisterProcedure(platform.DeviceC(), NetworkInit)
+	if DiffRegOps(c, c2) != 0 {
+		t.Error("same-platform procedures should match")
+	}
+}
+
+func TestCommandProceduresPlatformIndependent(t *testing.T) {
+	a, _ := CommandProcedure(NetworkInit)
+	b, _ := CommandProcedure(NetworkInit)
+	if DiffCommands(a, b) != 0 {
+		t.Error("command procedures should be platform-independent")
+	}
+}
+
+func TestWaitStyleFollowsVendor(t *testing.T) {
+	// Xilinx-convention devices use wait-style init; Intel devices use
+	// direct writes (Fig. 3d's shell A vs shell B).
+	xOps, _ := ModuleInitRegisters(platform.DeviceA(), "mac")
+	iOps, _ := ModuleInitRegisters(platform.DeviceD(), "mac")
+	countWaits := func(ops []uck.RegOp) int {
+		n := 0
+		for _, op := range ops {
+			if op.Kind == uck.OpWait {
+				n++
+			}
+		}
+		return n
+	}
+	if countWaits(xOps) == 0 {
+		t.Error("xilinx-style init should include waits")
+	}
+	if countWaits(iOps) != 0 {
+		t.Error("intel-style init should not include waits")
+	}
+}
+
+func TestDiffRegOps(t *testing.T) {
+	a := []uck.RegOp{{Kind: uck.OpWrite, Addr: 0, Value: 1}, {Kind: uck.OpWrite, Addr: 4, Value: 2}}
+	if DiffRegOps(a, a) != 0 {
+		t.Error("self diff nonzero")
+	}
+	b := append([]uck.RegOp{}, a...)
+	b[1].Value = 9
+	// One op changed: one deletion + one insertion.
+	if d := DiffRegOps(a, b); d != 2 {
+		t.Errorf("single-change diff = %d, want 2", d)
+	}
+	if d := DiffRegOps(a, nil); d != 2 {
+		t.Errorf("diff vs empty = %d, want 2", d)
+	}
+	if d := DiffRegOps(a, b); d != DiffRegOps(b, a) {
+		t.Error("diff not symmetric")
+	}
+}
+
+func TestMigrationCostCToD(t *testing.T) {
+	// Fig. 13: migrating device C -> D costs hundreds of register mods
+	// but only a handful of command mods; reduction 88-107x.
+	cats := []string{"mac", "pcie-dma", "pcie-phy", "mgmt", "uck"}
+	rep, err := MigrationCost(platform.DeviceC(), platform.DeviceD(), cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RegMods < 100 {
+		t.Errorf("register modifications = %d, want hundreds", rep.RegMods)
+	}
+	if rep.CmdMods > 10 {
+		t.Errorf("command modifications = %d, want a handful", rep.CmdMods)
+	}
+	if rep.Ratio < 50 || rep.Ratio > 200 {
+		t.Errorf("reduction ratio = %.0fx, want order of 88-107x", rep.Ratio)
+	}
+	// Same-device migration costs nothing.
+	same, err := MigrationCost(platform.DeviceC(), platform.DeviceC(), cats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.RegMods != 0 || same.CmdMods != 0 {
+		t.Errorf("same-device migration = %+v", same)
+	}
+	if _, err := MigrationCost(nil, platform.DeviceC(), cats); err == nil {
+		t.Error("nil device should fail")
+	}
+	if _, err := MigrationCost(platform.DeviceC(), platform.DeviceD(), []string{"bogus"}); err == nil {
+		t.Error("unknown category should fail")
+	}
+}
+
+func newCmdDriver(t *testing.T) (*CmdDriver, *uck.Module) {
+	t.Helper()
+	link, err := pcie.NewLink("l", 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := pcie.NewEngine(link, pcie.DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel, err := uck.NewKernel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uck.NewModule("mac0", []uck.RegOp{{Kind: uck.OpWrite, Addr: 4, Value: 1}})
+	if err := kernel.Register(1, 0, m); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewCmdDriver(engine, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func TestCmdDriverRoundTrip(t *testing.T) {
+	d, m := newCmdDriver(t)
+	done, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.ModuleInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Status() != uck.StatusReady {
+		t.Error("module not initialized")
+	}
+	if done <= 0 {
+		t.Error("command took no time")
+	}
+	data, _, err := d.CmdRead(done, cmdif.New(1, 0, cmdif.StatusRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1 || data[0] != uck.StatusReady {
+		t.Errorf("status read = %v", data)
+	}
+	if d.Issued() != 2 {
+		t.Errorf("Issued = %d", d.Issued())
+	}
+}
+
+func TestCmdDriverErrors(t *testing.T) {
+	if _, err := NewCmdDriver(nil, nil); err == nil {
+		t.Error("nil deps should fail")
+	}
+	d, _ := newCmdDriver(t)
+	if _, err := d.CmdWrite(0, cmdif.New(9, 9, cmdif.ModuleInit)); err == nil {
+		t.Error("unknown module should fail")
+	}
+}
+
+func TestCmdDriverFasterThanRegDriverForInit(t *testing.T) {
+	// One init command beats sequencing tens of register ops over PCIe
+	// — each register op is its own round trip.
+	d, _ := newCmdDriver(t)
+	cmdDone, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.ModuleInit))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	link, _ := pcie.NewLink("l2", 4, 16)
+	m := uck.NewModule("mac1", nil)
+	rd, err := NewRegDriver(link, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := ModuleInitRegisters(platform.DeviceA(), "mac")
+	regDone := rd.Run(0, ops)
+	if cmdDone >= regDone {
+		t.Errorf("command init %v not faster than register init %v", cmdDone, regDone)
+	}
+	if rd.Ops() == 0 {
+		t.Error("register driver performed no ops")
+	}
+}
+
+func TestRegDriverWaitPolls(t *testing.T) {
+	link, _ := pcie.NewLink("l", 3, 8)
+	m := uck.NewModule("m", nil)
+	d, _ := NewRegDriver(link, m)
+	plain := d.Run(0, []uck.RegOp{{Kind: uck.OpWrite, Addr: 0, Value: 1}})
+	d2, _ := NewRegDriver(pcieLink(t), m)
+	waited := d2.Run(0, []uck.RegOp{{Kind: uck.OpWait, Addr: 0, Value: 1}})
+	if waited <= plain {
+		t.Error("wait op should cost more than a single write")
+	}
+	if _, err := NewRegDriver(nil, nil); err == nil {
+		t.Error("nil deps should fail")
+	}
+}
+
+func pcieLink(t *testing.T) *pcie.Link {
+	t.Helper()
+	l, err := pcie.NewLink("l", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCmdDriverRetriesOnCorruption(t *testing.T) {
+	d, m := newCmdDriver(t)
+	// Corrupt the first transmission only: the retry succeeds.
+	d.SetFaultInjector(func(attempt int, buf []byte) []byte {
+		if attempt == 0 {
+			buf[6] ^= 0x80
+		}
+		return buf
+	})
+	if _, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.ModuleInit)); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if m.Status() != uck.StatusReady {
+		t.Error("module not initialized after retry")
+	}
+	if d.Retries() != 1 {
+		t.Errorf("Retries = %d, want 1", d.Retries())
+	}
+}
+
+func TestCmdDriverGivesUpAfterMaxRetries(t *testing.T) {
+	d, m := newCmdDriver(t)
+	d.MaxRetries = 2
+	d.SetFaultInjector(func(attempt int, buf []byte) []byte {
+		buf[6] ^= 0x80 // persistent corruption
+		return buf
+	})
+	if _, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.ModuleInit)); err == nil {
+		t.Fatal("persistently corrupted command succeeded")
+	}
+	if m.Status() == uck.StatusReady {
+		t.Error("corrupted command executed")
+	}
+	if d.Retries() != 2 {
+		t.Errorf("Retries = %d, want 2", d.Retries())
+	}
+}
+
+func TestCmdDriverExecutesParsedBytes(t *testing.T) {
+	// The kernel must act on what crossed the wire, not the host's
+	// in-memory object: rewrite the wire payload to target instance 0's
+	// table 9 instead of table 1 and observe the parsed effect.
+	d, m := newCmdDriver(t)
+	d.SetFaultInjector(func(attempt int, buf []byte) []byte {
+		// Data word 0 (the table id) lives after the 3-word header.
+		rewritten := cmdif.New(1, 0, cmdif.TableWrite, 9, 0, 0xFE)
+		out, err := rewritten.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	})
+	if _, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.TableWrite, 1, 0, 0xFE)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Table(1, 0); ok {
+		t.Error("host-side object executed instead of wire bytes")
+	}
+	if entry, ok := m.Table(9, 0); !ok || entry[0] != 0xFE {
+		t.Errorf("wire-rewritten table not applied: %v, %v", entry, ok)
+	}
+}

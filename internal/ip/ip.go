@@ -1,0 +1,181 @@
+// Package ip provides the vendor-specific IP catalog: structural models
+// (interfaces, configurations, resources, code volume, deployment
+// dependencies) and performance specifications for the hardware blocks
+// shells are assembled from — Ethernet MACs, PCIe DMA engines, DDR/HBM
+// memory controllers, PCIe hard IP and TLP engines.
+//
+// Xilinx IPs expose AXI ports, Intel IPs expose Avalon ports, and the
+// two vendors disagree on configuration inventories — exactly the
+// per-module property disparities Fig. 3b quantifies. In-house devices
+// reuse the Xilinx-style interface conventions of their chips.
+package ip
+
+import (
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/platform"
+	"harmonia/internal/proto"
+)
+
+// Speed is a network line rate in Gbps.
+type Speed int
+
+// Supported MAC line rates.
+const (
+	Speed25G  Speed = 25
+	Speed100G Speed = 100
+	Speed400G Speed = 400
+)
+
+// MACSpec is the performance model of a MAC instance: line rate, core
+// datapath width and clock. Data widths scale 128/512/2048 bits with
+// 25/100/400G as in §3.3.1.
+type MACSpec struct {
+	Speed     Speed
+	DataWidth int
+	CoreMHz   float64
+}
+
+// SpecForMAC returns the datapath spec for a line rate.
+func SpecForMAC(s Speed) (MACSpec, error) {
+	switch s {
+	case Speed25G:
+		return MACSpec{Speed: s, DataWidth: 128, CoreMHz: 250}, nil
+	case Speed100G:
+		return MACSpec{Speed: s, DataWidth: 512, CoreMHz: 322.265625}, nil
+	case Speed400G:
+		return MACSpec{Speed: s, DataWidth: 2048, CoreMHz: 322.265625}, nil
+	default:
+		return MACSpec{}, fmt.Errorf("ip: unsupported MAC speed %dG", s)
+	}
+}
+
+// DMAVariant distinguishes bulk-transfer from scatter-gather DMA engines
+// (the module-level tailoring choice in §3.3.2).
+type DMAVariant string
+
+// DMA engine variants.
+const (
+	BDMA  DMAVariant = "bdma"  // bulk DMA: high-bandwidth contiguous moves
+	SGDMA DMAVariant = "sgdma" // scatter-gather DMA: discrete descriptors
+)
+
+// DMASpec is the performance model of a PCIe DMA engine.
+type DMASpec struct {
+	Gen       int
+	Lanes     int
+	DataWidth int
+	CoreMHz   float64
+	// QueueCount is the number of hardware DMA queues the engine
+	// exposes (the paper's Host RBB provides 1K).
+	QueueCount int
+}
+
+// SpecForDMA returns the datapath spec for a PCIe generation and lane
+// count. Width and clock double with each generation upgrade (§3.3.1).
+func SpecForDMA(gen, lanes int) (DMASpec, error) {
+	base := DMASpec{Gen: gen, Lanes: lanes, QueueCount: 1024}
+	switch gen {
+	case 3:
+		base.DataWidth, base.CoreMHz = 256, 250
+	case 4:
+		base.DataWidth, base.CoreMHz = 512, 250
+	case 5:
+		base.DataWidth, base.CoreMHz = 512, 500
+	default:
+		return DMASpec{}, fmt.Errorf("ip: unsupported PCIe generation %d", gen)
+	}
+	if lanes == 8 {
+		// Half-width links run the same core at half datapath width.
+		base.DataWidth /= 2
+	} else if lanes != 16 {
+		return DMASpec{}, fmt.Errorf("ip: unsupported lane count x%d", lanes)
+	}
+	return base, nil
+}
+
+// MemKind distinguishes memory controller targets.
+type MemKind string
+
+// Memory controller kinds.
+const (
+	DDR4Mem MemKind = "ddr4"
+	HBMMem  MemKind = "hbm"
+)
+
+// MemSpec is the performance model of a memory controller.
+type MemSpec struct {
+	Kind MemKind
+	// Channels the controller manages (2 for DDR boards, 32 for HBM).
+	Channels int
+	// DataWidth of the user-facing port in bits (512 per §3.3.1).
+	DataWidth int
+	CoreMHz   float64
+	// PeakGbps is the aggregate theoretical bandwidth.
+	PeakGbps float64
+}
+
+// SpecForMem returns the controller spec for a memory kind.
+func SpecForMem(kind MemKind) (MemSpec, error) {
+	switch kind {
+	case DDR4Mem:
+		return MemSpec{Kind: kind, Channels: 2, DataWidth: 512, CoreMHz: 300, PeakGbps: 2 * 153.6}, nil
+	case HBMMem:
+		return MemSpec{Kind: kind, Channels: 32, DataWidth: 512, CoreMHz: 450, PeakGbps: 3680}, nil
+	default:
+		return MemSpec{}, fmt.Errorf("ip: unsupported memory kind %q", kind)
+	}
+}
+
+// interfaceStyle returns the protocol families a vendor's IPs use.
+func interfaceStyle(v platform.Vendor) (stream, mm, reg proto.Family) {
+	if v == platform.Intel {
+		return proto.AvalonST, proto.AvalonMM, proto.AvalonMM
+	}
+	// Xilinx and in-house devices use the AXI convention.
+	return proto.AXI4Stream, proto.AXI4, proto.AXI4Lite
+}
+
+// params builds a parameter list from names, marking the first
+// roleVisible entries role-oriented. Vendor IPs expose most parameters
+// for completeness while roles need only a handful (§3.3.2, Fig. 12).
+func params(names []string, roleVisible int) []hdl.Param {
+	out := make([]hdl.Param, len(names))
+	for i, n := range names {
+		scope := hdl.ShellOriented
+		if i < roleVisible {
+			scope = hdl.RoleOriented
+		}
+		out[i] = hdl.Param{Name: n, Default: "auto", Scope: scope}
+	}
+	return out
+}
+
+// numbered appends n generated names "prefix_0..n-1" to base — the long
+// tail of lane/channel/timing options vendor IP wizards expose.
+func numbered(base []string, prefix string, n int) []string {
+	out := append([]string(nil), base...)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%s_%d", prefix, i))
+	}
+	return out
+}
+
+func vendorDeps(v platform.Vendor, extra map[string]string) map[string]string {
+	deps := map[string]string{}
+	switch v {
+	case platform.Intel:
+		deps["cad"] = "quartus"
+		deps["cad_version"] = "23.4"
+		deps["ip_catalog"] = "intel-fpga-ip"
+	default:
+		deps["cad"] = "vivado"
+		deps["cad_version"] = "2023.2"
+		deps["ip_catalog"] = "xilinx-ip"
+	}
+	for k, val := range extra {
+		deps[k] = val
+	}
+	return deps
+}

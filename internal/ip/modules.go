@@ -1,0 +1,322 @@
+package ip
+
+import (
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/platform"
+	"harmonia/internal/proto"
+)
+
+// MACModule returns the vendor MAC IP for a line rate: the "specific
+// instance" of the Network RBB. Names mirror the real parts (Xilinx
+// CMAC / Intel E-tile).
+func MACModule(v platform.Vendor, s Speed) (*hdl.Module, error) {
+	spec, err := SpecForMAC(s)
+	if err != nil {
+		return nil, err
+	}
+	stream, _, reg := interfaceStyle(v)
+	rx, err := proto.ForFamily(stream, "rx", spec.DataWidth, 0)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := proto.ForFamily(stream, "tx", spec.DataWidth, 0)
+	if err != nil {
+		return nil, err
+	}
+	var ctrl proto.Interface
+	if reg == proto.AvalonMM {
+		ctrl = proto.NewAvalonMM("csr", 32, 21)
+		ctrl.Kind = proto.KindReg // Avalon-MM used as a register port
+	} else {
+		ctrl = proto.NewAXI4Lite("csr", 32, 21)
+	}
+
+	name := fmt.Sprintf("%s-mac-%dg", v, s)
+	common := []string{
+		"LINE_RATE", "FEC_MODE", "RX_FLOW_CONTROL", "TX_FLOW_CONTROL",
+		"PTP_ENABLE", "AUTONEG", "MIN_FRAME", "MAX_FRAME", "RSFEC_LANES",
+		"GT_REF_CLK", "PAUSE_QUANTA", "IPG",
+	}
+	var paramNames []string
+	roleVisible := 3 // LINE_RATE, FEC_MODE, RX_FLOW_CONTROL matter to roles
+	if v == platform.Intel {
+		paramNames = numbered(append(common, "EHIP_MODE", "PMA_ADAPT"), "etile_lane_opt", 44)
+	} else {
+		paramNames = numbered(append(common, "CMAC_CORE_MODE"), "gt_lane_opt", 33)
+	}
+
+	res := hdl.Resources{LUT: 14_000, REG: 28_000, BRAM: 36}
+	if s == Speed400G {
+		res = res.Scale(2.2)
+	} else if s == Speed25G {
+		res = res.Scale(0.4)
+	}
+	return &hdl.Module{
+		Name:     name,
+		Vendor:   string(v),
+		Category: "mac",
+		Ports:    []proto.Interface{rx, tx, ctrl},
+		Params:   params(paramNames, roleVisible),
+		Res:      res,
+		Code:     hdl.LoC{Handcraft: 600, Generated: 9_500},
+		Deps: vendorDeps(v, map[string]string{
+			"transceiver": transceiverFor(v, s),
+		}),
+		FmaxMHz: 402,
+	}, nil
+}
+
+func transceiverFor(v platform.Vendor, s Speed) string {
+	if v == platform.Intel {
+		if s == Speed400G {
+			return "f-tile"
+		}
+		return "e-tile"
+	}
+	if s == Speed400G {
+		return "gty-dcmac"
+	}
+	return "gty"
+}
+
+// DMAModule returns the vendor PCIe DMA engine (Xilinx QDMA-style /
+// Intel MCDMA-style) for a PCIe generation, lane count and variant.
+func DMAModule(v platform.Vendor, gen, lanes int, variant DMAVariant) (*hdl.Module, error) {
+	spec, err := SpecForDMA(gen, lanes)
+	if err != nil {
+		return nil, err
+	}
+	if variant != BDMA && variant != SGDMA {
+		return nil, fmt.Errorf("ip: unknown DMA variant %q", variant)
+	}
+	stream, mm, reg := interfaceStyle(v)
+	h2c, err := proto.ForFamily(stream, "h2c", spec.DataWidth, 0)
+	if err != nil {
+		return nil, err
+	}
+	c2h, err := proto.ForFamily(stream, "c2h", spec.DataWidth, 0)
+	if err != nil {
+		return nil, err
+	}
+	bypass, err := proto.ForFamily(mm, "dma_bypass", spec.DataWidth, 64)
+	if err != nil {
+		return nil, err
+	}
+	var ctrl proto.Interface
+	if reg == proto.AvalonMM {
+		ctrl = proto.NewAvalonMM("csr", 32, 28)
+		ctrl.Kind = proto.KindReg
+	} else {
+		ctrl = proto.NewAXI4Lite("csr", 32, 28)
+	}
+
+	common := []string{
+		"PCIE_GEN", "LANES", "QUEUE_COUNT", "MAX_PAYLOAD", "MAX_READ_REQ",
+		"SRIOV_VFS", "MSIX_VECTORS", "DESC_RING_SIZE", "COMPLETION_COALESCE",
+		"BAR0_SIZE", "BAR2_SIZE", "DOORBELL_MODE",
+	}
+	roleVisible := 4 // generation, lanes, queues, payload
+	var paramNames []string
+	if v == platform.Intel {
+		paramNames = numbered(append(common, "MCDMA_MODE", "AVST_SEG"), "ptile_opt", 62)
+	} else {
+		paramNames = numbered(append(common, "QDMA_MODE"), "pcie4c_opt", 57)
+	}
+
+	res := hdl.Resources{LUT: 68_000, REG: 115_000, BRAM: 170, URAM: 16}
+	if variant == BDMA {
+		res = res.Scale(0.7) // bulk engines omit descriptor scatter logic
+	}
+	if gen >= 5 {
+		res = res.Scale(1.3)
+	}
+	return &hdl.Module{
+		Name:     fmt.Sprintf("%s-%s-gen%dx%d", v, variant, gen, lanes),
+		Vendor:   string(v),
+		Category: "pcie-dma",
+		Ports:    []proto.Interface{h2c, c2h, bypass, ctrl},
+		Params:   params(paramNames, roleVisible),
+		Res:      res,
+		Code:     hdl.LoC{Handcraft: 1_200, Generated: 22_000},
+		Deps: vendorDeps(v, map[string]string{
+			"pcie_hard_ip": fmt.Sprintf("gen%d", gen),
+		}),
+		FmaxMHz: 510,
+	}, nil
+}
+
+// MemModule returns the vendor memory controller (Xilinx MIG/HBM IP or
+// Intel EMIF) for a memory kind.
+func MemModule(v platform.Vendor, kind MemKind) (*hdl.Module, error) {
+	spec, err := SpecForMem(kind)
+	if err != nil {
+		return nil, err
+	}
+	if kind == HBMMem && v == platform.Intel {
+		return nil, fmt.Errorf("ip: no Intel HBM controller in catalog")
+	}
+	_, mm, reg := interfaceStyle(v)
+	data, err := proto.ForFamily(mm, "mem", spec.DataWidth, 34)
+	if err != nil {
+		return nil, err
+	}
+	var ctrl proto.Interface
+	if reg == proto.AvalonMM {
+		ctrl = proto.NewAvalonMM("csr", 32, 16)
+		ctrl.Kind = proto.KindReg
+	} else {
+		ctrl = proto.NewAXI4Lite("csr", 32, 16)
+	}
+
+	timing := []string{
+		"SPEED_BIN", "CAS_LATENCY", "tRCD", "tRP", "tRAS", "tRC", "tFAW",
+		"tWTR", "tRRD", "REFRESH_INTERVAL", "ECC_ENABLE", "ADDR_ORDERING",
+	}
+	roleVisible := 2 // capacity/ordering matter to roles
+	var paramNames []string
+	if v == platform.Intel {
+		paramNames = numbered(append(timing, "EMIF_TOPOLOGY", "OCT_MODE"), "emif_pin_opt", 90)
+	} else if kind == HBMMem {
+		paramNames = numbered(append(timing, "STACK_COUNT", "SWITCH_ENABLE"), "hbm_ch_opt", 64)
+	} else {
+		paramNames = numbered(append(timing, "MIG_CLAMSHELL"), "mig_pin_opt", 74)
+	}
+
+	res := hdl.Resources{LUT: 24_000, REG: 31_000, BRAM: 25}
+	if kind == HBMMem {
+		res = hdl.Resources{LUT: 36_000, REG: 52_000, BRAM: 64}
+	}
+	return &hdl.Module{
+		Name:     fmt.Sprintf("%s-%s-ctrl", v, kind),
+		Vendor:   string(v),
+		Category: string(kind),
+		Ports:    []proto.Interface{data, ctrl},
+		Params:   params(paramNames, roleVisible),
+		Res:      res,
+		Code:     hdl.LoC{Handcraft: 900, Generated: 18_000},
+		Deps: vendorDeps(v, map[string]string{
+			"memory_phy": string(kind),
+		}),
+		FmaxMHz: 466,
+	}, nil
+}
+
+// PCIePhyModule returns the vendor PCIe hard-IP wrapper (PHY + link
+// layer below the DMA engine).
+func PCIePhyModule(v platform.Vendor, gen, lanes int) (*hdl.Module, error) {
+	if _, err := SpecForDMA(gen, lanes); err != nil {
+		return nil, err
+	}
+	stream, _, reg := interfaceStyle(v)
+	rq, err := proto.ForFamily(stream, "rq", 512, 0)
+	if err != nil {
+		return nil, err
+	}
+	cc, err := proto.ForFamily(stream, "cc", 512, 0)
+	if err != nil {
+		return nil, err
+	}
+	var ctrl proto.Interface
+	if reg == proto.AvalonMM {
+		ctrl = proto.NewAvalonMM("cfg", 32, 12)
+		ctrl.Kind = proto.KindReg
+	} else {
+		ctrl = proto.NewAXI4Lite("cfg", 32, 12)
+	}
+	base := []string{"GEN", "LANES", "VENDOR_ID", "DEVICE_ID", "CLASS_CODE",
+		"ASPM", "EXT_TAG", "TPH", "ATS"}
+	var names []string
+	if v == platform.Intel {
+		names = numbered(append(base, "PTILE_MODE"), "ptile_phy_opt", 47)
+	} else {
+		names = numbered(base, "pcie_phy_opt", 42)
+	}
+	return &hdl.Module{
+		Name:     fmt.Sprintf("%s-pcie-phy-gen%dx%d", v, gen, lanes),
+		Vendor:   string(v),
+		Category: "pcie-phy",
+		Ports:    []proto.Interface{rq, cc, ctrl},
+		Params:   params(names, 2),
+		Res:      hdl.Resources{LUT: 9_000, REG: 14_000, BRAM: 8},
+		Code:     hdl.LoC{Handcraft: 400, Generated: 12_000},
+		Deps: vendorDeps(v, map[string]string{
+			"pcie_hard_ip": fmt.Sprintf("gen%d", gen),
+		}),
+		FmaxMHz: 625,
+	}, nil
+}
+
+// TLPModule returns the vendor transaction-layer packet engine used by
+// bump-in-the-wire designs that bypass the full DMA.
+func TLPModule(v platform.Vendor) (*hdl.Module, error) {
+	stream, _, _ := interfaceStyle(v)
+	in, err := proto.ForFamily(stream, "tlp_in", 256, 0)
+	if err != nil {
+		return nil, err
+	}
+	out, err := proto.ForFamily(stream, "tlp_out", 256, 0)
+	if err != nil {
+		return nil, err
+	}
+	base := []string{"TLP_MAX_SIZE", "CREDITS", "ORDERING", "RELAXED_ORDER"}
+	var names []string
+	if v == platform.Intel {
+		names = numbered(base, "tlp_avst_opt", 31)
+	} else {
+		names = numbered(base, "tlp_axis_opt", 26)
+	}
+	return &hdl.Module{
+		Name:     fmt.Sprintf("%s-tlp", v),
+		Vendor:   string(v),
+		Category: "tlp",
+		Ports:    []proto.Interface{in, out},
+		Params:   params(names, 1),
+		Res:      hdl.Resources{LUT: 11_000, REG: 17_000, BRAM: 10},
+		Code:     hdl.LoC{Handcraft: 700, Generated: 6_500},
+		Deps:     vendorDeps(v, nil),
+	}, nil
+}
+
+// Catalog builds the full module library for a vendor: MACs at every
+// speed, DMA engines for every supported generation/lane/variant
+// combination, memory controllers, PCIe PHYs and the TLP engine.
+func Catalog(v platform.Vendor) (*hdl.Library, error) {
+	lib := hdl.NewLibrary()
+	add := func(m *hdl.Module, err error) error {
+		if err != nil {
+			return err
+		}
+		return lib.Register(m)
+	}
+	for _, s := range []Speed{Speed25G, Speed100G, Speed400G} {
+		if err := add(MACModule(v, s)); err != nil {
+			return nil, err
+		}
+	}
+	for _, gen := range []int{3, 4, 5} {
+		for _, lanes := range []int{8, 16} {
+			for _, variant := range []DMAVariant{BDMA, SGDMA} {
+				if err := add(DMAModule(v, gen, lanes, variant)); err != nil {
+					return nil, err
+				}
+			}
+			if err := add(PCIePhyModule(v, gen, lanes)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := add(MemModule(v, DDR4Mem)); err != nil {
+		return nil, err
+	}
+	if v != platform.Intel {
+		if err := add(MemModule(v, HBMMem)); err != nil {
+			return nil, err
+		}
+	}
+	if err := add(TLPModule(v)); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}

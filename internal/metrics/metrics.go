@@ -1,0 +1,280 @@
+// Package metrics provides the measurement types shared by the
+// benchmark harness: latency distributions, throughput helpers, and the
+// labelled series/tables the figure regenerators emit.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"harmonia/internal/sim"
+)
+
+// Latencies collects latency samples and reports summary statistics.
+type Latencies struct {
+	samples []sim.Time
+	sorted  bool
+}
+
+// Add records one sample.
+func (l *Latencies) Add(t sim.Time) {
+	l.samples = append(l.samples, t)
+	l.sorted = false
+}
+
+// Count reports the number of samples.
+func (l *Latencies) Count() int { return len(l.samples) }
+
+func (l *Latencies) sort() {
+	if !l.sorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100) using
+// nearest-rank; zero samples report zero.
+func (l *Latencies) Percentile(p float64) sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(l.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(l.samples) {
+		rank = len(l.samples)
+	}
+	return l.samples[rank-1]
+}
+
+// Mean reports the average latency.
+func (l *Latencies) Mean() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum sim.Time
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / sim.Time(len(l.samples))
+}
+
+// Max reports the largest sample.
+func (l *Latencies) Max() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[len(l.samples)-1]
+}
+
+// Min reports the smallest sample.
+func (l *Latencies) Min() sim.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[0]
+}
+
+// Gbps converts bytes moved over a duration into gigabits per second.
+func Gbps(bytes int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / elapsed.Nanoseconds()
+}
+
+// Rate converts an event count over a duration into events/second.
+func Rate(events int64, elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(events) / elapsed.Seconds()
+}
+
+// Point is one (x, y) pair of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	// XLabel/YLabel describe axes (set on at least one series per
+	// figure).
+	XLabel, YLabel string
+	Points         []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Y returns the y value at x; ok is false when absent.
+func (s *Series) Y(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a regenerated paper figure: an identifier and its series.
+type Figure struct {
+	ID     string // e.g. "fig10a"
+	Title  string
+	Series []*Series
+}
+
+// Find returns the series with the given label.
+func (f *Figure) Find(label string) (*Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// String renders the figure as aligned text, one row per x value.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	// Collect x values in first-series order, then any extras.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	xl := f.Series[0].XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	fmt.Fprintf(&b, "%-16s", xl)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%22s", s.Label)
+	}
+	fmt.Fprintln(&b)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-16.6g", x)
+		for _, s := range f.Series {
+			if y, ok := s.Y(x); ok {
+				fmt.Fprintf(&b, "%22.4g", y)
+			} else {
+				fmt.Fprintf(&b, "%22s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Table is a regenerated paper table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; it must match the column count.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("metrics: row has %d cells, table %s has %d columns",
+			len(cells), t.ID, len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(&b)
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values: a header of the x
+// label plus series labels, one row per x value.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	if len(f.Series) == 0 {
+		return ""
+	}
+	xl := f.Series[0].XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	cells := []string{xl}
+	for _, s := range f.Series {
+		cells = append(cells, s.Label)
+	}
+	fmt.Fprintln(&b, strings.Join(cells, ","))
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if y, ok := s.Y(x); ok {
+				row = append(row, fmt.Sprintf("%g", y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(&b, strings.Join(row, ","))
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(&b, strings.Join(row, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format constants for the simplified Ethernet/IPv4/TCP frame.
+const (
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	fcsLen        = 4
+	// minWirePayload pads frames up to the Ethernet minimum.
+	etherTypeIPv4 = 0x0800
+)
+
+// MarshalFrame serializes the packet into its on-wire bytes: Ethernet
+// header, IPv4 header (with a valid header checksum), TCP header,
+// payload (padded so the frame length equals WireBytes), and the frame
+// check sequence. WireBytes must cover the headers and FCS.
+func (p *Packet) MarshalFrame() ([]byte, error) {
+	minLen := ethHeaderLen + ipv4HeaderLen + tcpHeaderLen + fcsLen
+	if p.WireBytes < minLen {
+		return nil, fmt.Errorf("net: frame of %dB cannot hold %dB of headers", p.WireBytes, minLen)
+	}
+	payloadRoom := p.WireBytes - minLen
+	if len(p.Payload) > payloadRoom {
+		return nil, fmt.Errorf("net: payload %dB exceeds frame room %dB", len(p.Payload), payloadRoom)
+	}
+	buf := make([]byte, p.WireBytes)
+
+	// Ethernet.
+	copy(buf[0:6], p.DstMAC[:])
+	copy(buf[6:12], p.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], etherTypeIPv4)
+
+	// IPv4.
+	ip := buf[ethHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	totalLen := p.WireBytes - ethHeaderLen - fcsLen
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalLen))
+	ip[8] = 64 // TTL
+	ip[9] = p.Proto
+	copy(ip[12:16], p.SrcIP[:])
+	copy(ip[16:20], p.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	csum := Checksum(ip[:ipv4HeaderLen])
+	binary.BigEndian.PutUint16(ip[10:12], csum)
+
+	// TCP (simplified: ports + seq).
+	tcp := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], p.DstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], p.Seq)
+	tcp[12] = 5 << 4 // data offset
+
+	copy(tcp[tcpHeaderLen:], p.Payload)
+
+	// FCS over everything before it.
+	fcs := crc32.ChecksumIEEE(buf[:p.WireBytes-fcsLen])
+	binary.BigEndian.PutUint32(buf[p.WireBytes-fcsLen:], fcs)
+	return buf, nil
+}
+
+// ParseFrame validates and decodes an on-wire frame: the FCS and the
+// IPv4 header checksum must verify.
+func ParseFrame(buf []byte) (*Packet, error) {
+	minLen := ethHeaderLen + ipv4HeaderLen + tcpHeaderLen + fcsLen
+	if len(buf) < minLen {
+		return nil, fmt.Errorf("net: frame of %dB too short", len(buf))
+	}
+	// FCS first — a corrupted frame is dropped at the MAC.
+	want := binary.BigEndian.Uint32(buf[len(buf)-fcsLen:])
+	if got := crc32.ChecksumIEEE(buf[:len(buf)-fcsLen]); got != want {
+		return nil, fmt.Errorf("net: FCS mismatch (%#x != %#x)", got, want)
+	}
+	p := &Packet{WireBytes: len(buf)}
+	copy(p.DstMAC[:], buf[0:6])
+	copy(p.SrcMAC[:], buf[6:12])
+	if et := binary.BigEndian.Uint16(buf[12:14]); et != etherTypeIPv4 {
+		return nil, fmt.Errorf("net: unsupported ethertype %#04x", et)
+	}
+	ip := buf[ethHeaderLen:]
+	if ip[0]>>4 != 4 || ip[0]&0xf != 5 {
+		return nil, fmt.Errorf("net: unsupported IP version/IHL %#02x", ip[0])
+	}
+	if Checksum(ip[:ipv4HeaderLen]) != 0 {
+		return nil, fmt.Errorf("net: IPv4 header checksum mismatch")
+	}
+	p.Proto = ip[9]
+	copy(p.SrcIP[:], ip[12:16])
+	copy(p.DstIP[:], ip[16:20])
+	tcp := ip[ipv4HeaderLen:]
+	p.SrcPort = binary.BigEndian.Uint16(tcp[0:2])
+	p.DstPort = binary.BigEndian.Uint16(tcp[2:4])
+	p.Seq = binary.BigEndian.Uint32(tcp[4:8])
+	payload := tcp[tcpHeaderLen : len(tcp)-fcsLen]
+	// Trim trailing padding zeros only if the original payload length
+	// is unknown; keep the raw slice — callers that care about exact
+	// payload length carry it in-band.
+	p.Payload = append([]byte(nil), payload...)
+	return p, nil
+}

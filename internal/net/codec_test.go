@@ -1,0 +1,95 @@
+package net
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func framePacket(size int, payload []byte) *Packet {
+	return &Packet{
+		DstMAC: HWAddr{0x02, 0, 0, 0, 0, 1}, SrcMAC: HWAddr{0x02, 0, 0, 0, 0, 2},
+		SrcIP: IPv4(10, 0, 0, 1), DstIP: IPv4(10, 0, 0, 2),
+		Proto: ProtoTCP, SrcPort: 443, DstPort: 5001, Seq: 77,
+		WireBytes: size, Payload: payload,
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	p := framePacket(128, []byte("hello wire"))
+	buf, err := p.MarshalFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 128 {
+		t.Fatalf("frame length %d, want 128", len(buf))
+	}
+	got, err := ParseFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flow() != p.Flow() || got.Seq != p.Seq || got.DstMAC != p.DstMAC || got.SrcMAC != p.SrcMAC {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if !bytes.HasPrefix(got.Payload, []byte("hello wire")) {
+		t.Errorf("payload lost: %q", got.Payload)
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	small := framePacket(32, nil) // below header minimum
+	if _, err := small.MarshalFrame(); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	over := framePacket(64, make([]byte, 100))
+	if _, err := over.MarshalFrame(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := ParseFrame(make([]byte, 10)); err == nil {
+		t.Error("short buffer parsed")
+	}
+}
+
+func TestFrameFCSDetectsCorruption(t *testing.T) {
+	p := framePacket(96, []byte{1, 2, 3})
+	buf, _ := p.MarshalFrame()
+	for _, pos := range []int{0, 20, 40, len(buf) - 1} {
+		bad := append([]byte(nil), buf...)
+		bad[pos] ^= 0x01
+		if _, err := ParseFrame(bad); err == nil {
+			t.Errorf("corruption at byte %d undetected", pos)
+		}
+	}
+}
+
+func TestFrameIPChecksumSelfVerifies(t *testing.T) {
+	p := framePacket(64, nil)
+	buf, _ := p.MarshalFrame()
+	ip := buf[ethHeaderLen : ethHeaderLen+ipv4HeaderLen]
+	if Checksum(ip) != 0 {
+		t.Error("IPv4 header checksum does not self-verify")
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq uint32, a, b byte, payRaw []byte) bool {
+		if len(payRaw) > 64 {
+			payRaw = payRaw[:64]
+		}
+		p := framePacket(MinFrame+64, payRaw)
+		p.SrcPort, p.DstPort, p.Seq = sp, dp, seq
+		p.SrcIP = IPv4(10, 0, a, b)
+		buf, err := p.MarshalFrame()
+		if err != nil {
+			return false
+		}
+		got, err := ParseFrame(buf)
+		if err != nil {
+			return false
+		}
+		return got.Flow() == p.Flow() && got.Seq == seq && bytes.HasPrefix(got.Payload, payRaw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package net
+
+import (
+	"fmt"
+
+	"harmonia/internal/mem"
+	"harmonia/internal/sim"
+)
+
+// Verb is an RDMA operation type.
+type Verb int
+
+// RDMA verbs.
+const (
+	VerbSend Verb = iota
+	VerbWrite
+	VerbRead
+)
+
+// String names the verb.
+func (v Verb) String() string {
+	switch v {
+	case VerbSend:
+		return "send"
+	case VerbWrite:
+		return "write"
+	case VerbRead:
+		return "read"
+	default:
+		return fmt.Sprintf("verb(%d)", int(v))
+	}
+}
+
+// CompletionStatus reports how a work request finished.
+type CompletionStatus int
+
+// Completion statuses.
+const (
+	CompletionOK CompletionStatus = iota
+	// CompletionRNR: the responder had no receive buffer posted.
+	CompletionRNR
+	// CompletionError covers transport failures.
+	CompletionError
+)
+
+// WorkRequest is one queued RDMA operation.
+type WorkRequest struct {
+	ID    uint64
+	Verb  Verb
+	Bytes int
+	// LocalAddr is the source (SEND/WRITE) or destination (READ) in
+	// local memory.
+	LocalAddr int64
+	// RemoteAddr is the target for one-sided WRITE/READ.
+	RemoteAddr int64
+}
+
+// Completion is a completion-queue entry.
+type Completion struct {
+	ID     uint64
+	Verb   Verb
+	Status CompletionStatus
+	At     sim.Time
+}
+
+// recvBuffer is a posted receive.
+type recvBuffer struct {
+	addr  int64
+	bytes int
+}
+
+// QP is an RDMA queue pair: a send path to its connected peer over the
+// reliable transport, registered local memory, posted receive buffers
+// and a completion queue. It models the flow-level transport instance
+// the Network RBB provides for RDMA-class applications.
+type QP struct {
+	id   uint32
+	mtu  int
+	tx   *Reliable
+	peer *QP
+	// memory is the QP's registered region.
+	memory *mem.Store
+	recvQ  []recvBuffer
+	cq     []Completion
+}
+
+// NewQP returns a queue pair sending over txLink with the given MTU.
+func NewQP(id uint32, memory *mem.Store, txLink *LossyLink, mtu int) (*QP, error) {
+	if memory == nil || txLink == nil {
+		return nil, fmt.Errorf("net: QP %d requires memory and a link", id)
+	}
+	if mtu <= 0 {
+		return nil, fmt.Errorf("net: QP %d MTU %d must be positive", id, mtu)
+	}
+	tx, err := NewReliable(txLink, 16, 50*sim.Microsecond)
+	if err != nil {
+		return nil, err
+	}
+	return &QP{id: id, mtu: mtu, tx: tx, memory: memory}, nil
+}
+
+// Connect pairs two queue pairs.
+func Connect(a, b *QP) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("net: cannot connect nil QPs")
+	}
+	if a.peer != nil || b.peer != nil {
+		return fmt.Errorf("net: QP already connected")
+	}
+	a.peer, b.peer = b, a
+	return nil
+}
+
+// Memory exposes the registered region (for test setup).
+func (qp *QP) Memory() *mem.Store { return qp.memory }
+
+// PostRecv posts a receive buffer for incoming SENDs.
+func (qp *QP) PostRecv(addr int64, bytes int) {
+	qp.recvQ = append(qp.recvQ, recvBuffer{addr: addr, bytes: bytes})
+}
+
+// Poll drains the completion queue.
+func (qp *QP) Poll() []Completion {
+	out := qp.cq
+	qp.cq = nil
+	return out
+}
+
+// Retransmissions reports transport-level retries on the send path.
+func (qp *QP) Retransmissions() int64 { return qp.tx.Retransmissions() }
+
+// segments chops a transfer into MTU-sized wire segments.
+func (qp *QP) segments(bytes int) []Segment {
+	var segs []Segment
+	seq := uint32(0)
+	for bytes > 0 {
+		n := bytes
+		if n > qp.mtu {
+			n = qp.mtu
+		}
+		segs = append(segs, Segment{Seq: seq, Bytes: n + HeaderBytes})
+		seq++
+		bytes -= n
+	}
+	return segs
+}
+
+// complete records a CQE.
+func (qp *QP) complete(wr WorkRequest, status CompletionStatus, at sim.Time) {
+	qp.cq = append(qp.cq, Completion{ID: wr.ID, Verb: wr.Verb, Status: status, At: at})
+}
+
+// Post executes a work request at time now and returns its completion
+// time. Data movement is functional: bytes really move between the
+// registered memory regions, and loss on the wire costs retransmission
+// time without corrupting data.
+func (qp *QP) Post(now sim.Time, wr WorkRequest) (sim.Time, error) {
+	if qp.peer == nil {
+		return now, fmt.Errorf("net: QP %d not connected", qp.id)
+	}
+	if wr.Bytes <= 0 {
+		return now, fmt.Errorf("net: work request %d has no data", wr.ID)
+	}
+	switch wr.Verb {
+	case VerbSend:
+		if len(qp.peer.recvQ) == 0 {
+			// Receiver not ready: RNR completion, no data moves.
+			qp.complete(wr, CompletionRNR, now)
+			return now, nil
+		}
+		rb := qp.peer.recvQ[0]
+		if rb.bytes < wr.Bytes {
+			qp.complete(wr, CompletionError, now)
+			return now, fmt.Errorf("net: recv buffer %dB too small for %dB send", rb.bytes, wr.Bytes)
+		}
+		qp.peer.recvQ = qp.peer.recvQ[1:]
+		done, err := qp.tx.Transfer(now, qp.segments(wr.Bytes))
+		if err != nil {
+			qp.complete(wr, CompletionError, done)
+			return done, err
+		}
+		data := qp.memory.Read(wr.LocalAddr, wr.Bytes)
+		qp.peer.memory.Write(rb.addr, data)
+		qp.complete(wr, CompletionOK, done)
+		qp.peer.cq = append(qp.peer.cq, Completion{ID: wr.ID, Verb: VerbSend, Status: CompletionOK, At: done})
+		return done, nil
+
+	case VerbWrite:
+		done, err := qp.tx.Transfer(now, qp.segments(wr.Bytes))
+		if err != nil {
+			qp.complete(wr, CompletionError, done)
+			return done, err
+		}
+		data := qp.memory.Read(wr.LocalAddr, wr.Bytes)
+		qp.peer.memory.Write(wr.RemoteAddr, data)
+		qp.complete(wr, CompletionOK, done)
+		return done, nil
+
+	case VerbRead:
+		// Request goes out on our path; the data returns on the peer's.
+		reqDone, err := qp.tx.Transfer(now, []Segment{{Bytes: HeaderBytes}})
+		if err != nil {
+			qp.complete(wr, CompletionError, reqDone)
+			return reqDone, err
+		}
+		if qp.peer.peer == nil {
+			qp.complete(wr, CompletionError, reqDone)
+			return reqDone, fmt.Errorf("net: peer QP has no return path")
+		}
+		done, err := qp.peer.tx.Transfer(reqDone, qp.segments(wr.Bytes))
+		if err != nil {
+			qp.complete(wr, CompletionError, done)
+			return done, err
+		}
+		data := qp.peer.memory.Read(wr.RemoteAddr, wr.Bytes)
+		qp.memory.Write(wr.LocalAddr, data)
+		qp.complete(wr, CompletionOK, done)
+		return done, nil
+
+	default:
+		return now, fmt.Errorf("net: unknown verb %v", wr.Verb)
+	}
+}

@@ -1,0 +1,109 @@
+// Package pcie provides the simulated PCIe transport between host
+// software and the FPGA: a serializing link with per-generation
+// bandwidth and TLP overhead, multi-queue DMA with active-queue
+// scheduling (the Host RBB's Ex-function, §3.3.1), and a dedicated
+// control queue isolated from the data path (§3.3.3).
+package pcie
+
+import (
+	"fmt"
+
+	"harmonia/internal/sim"
+)
+
+// TLP framing constants.
+const (
+	// TLPHeaderBytes is the charged per-TLP header+framing footprint.
+	TLPHeaderBytes = 24
+	// MaxPayload is the maximum TLP payload in bytes.
+	MaxPayload = 256
+)
+
+// Link models one direction of a PCIe connection: data serializes at
+// the effective link rate with per-TLP header overhead, then lands
+// after a fixed completion latency.
+type Link struct {
+	name    string
+	gen     int
+	lanes   int
+	gbps    float64
+	latency sim.Time
+
+	busyUntil sim.Time
+	tlps      int64
+	bytes     int64
+}
+
+// effective per-lane rates in Gbps after encoding overhead.
+var perLaneGbps = map[int]float64{3: 7.88, 4: 15.75, 5: 31.51}
+
+// NewLink returns a link of the given generation and lane count with a
+// typical ~500ns completion latency.
+func NewLink(name string, gen, lanes int) (*Link, error) {
+	pl, ok := perLaneGbps[gen]
+	if !ok {
+		return nil, fmt.Errorf("pcie: unsupported generation %d", gen)
+	}
+	if lanes != 8 && lanes != 16 {
+		return nil, fmt.Errorf("pcie: unsupported lane count x%d", lanes)
+	}
+	return &Link{
+		name: name, gen: gen, lanes: lanes,
+		gbps:    pl * float64(lanes),
+		latency: 500 * sim.Nanosecond,
+	}, nil
+}
+
+// Gen reports the PCIe generation.
+func (l *Link) Gen() int { return l.gen }
+
+// Lanes reports the lane count.
+func (l *Link) Lanes() int { return l.lanes }
+
+// Gbps reports the effective aggregate link rate.
+func (l *Link) Gbps() float64 { return l.gbps }
+
+// Latency reports the fixed completion latency.
+func (l *Link) Latency() sim.Time { return l.latency }
+
+// TLPs reports transmitted TLP count.
+func (l *Link) TLPs() int64 { return l.tlps }
+
+// Bytes reports transferred payload bytes.
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// wireBytes charges TLP header overhead per MaxPayload chunk.
+func wireBytes(payload int) int {
+	tlps := (payload + MaxPayload - 1) / MaxPayload
+	if tlps == 0 {
+		tlps = 1
+	}
+	return payload + tlps*TLPHeaderBytes
+}
+
+// Transfer moves payload bytes across the link starting no earlier than
+// now and returns the completion time at the far side.
+func (l *Link) Transfer(now sim.Time, payload int) sim.Time {
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	wb := wireBytes(payload)
+	ser := sim.Time(float64(wb*8) / l.gbps * float64(sim.Nanosecond))
+	if ser < 1 {
+		ser = 1
+	}
+	l.busyUntil = start + ser
+	l.tlps += int64((payload + MaxPayload - 1) / MaxPayload)
+	if payload == 0 {
+		l.tlps++
+	}
+	l.bytes += int64(payload)
+	return l.busyUntil + l.latency
+}
+
+// EffectiveGbps reports achievable goodput at a payload size after TLP
+// overhead — the small-read penalty visible in Fig. 10b.
+func EffectiveGbps(linkGbps float64, payload int) float64 {
+	return linkGbps * float64(payload) / float64(wireBytes(payload))
+}

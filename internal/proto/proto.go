@@ -1,0 +1,147 @@
+// Package proto models hardware interface protocols at the signal level.
+//
+// Vendor IPs in the paper expose AXI4/AXI4-Lite/AXI4-Stream (Xilinx) or
+// Avalon-MM/Avalon-ST (Intel) ports; Harmonia's interface wrappers
+// convert them into six unified types (clock, reset, stream, mem map,
+// reg, irq — §3.2). This package provides signal inventories for each
+// protocol so the structural experiments (interface-difference counts in
+// Fig. 3b, wrapper resource overhead in Fig. 16) are computed over real
+// descriptions rather than hard-coded constants.
+package proto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Family identifies an interface protocol family.
+type Family string
+
+// Protocol families used by the vendor IPs and the unified layer.
+const (
+	AXI4       Family = "axi4"        // full memory-mapped AXI4
+	AXI4Lite   Family = "axi4-lite"   // register-access AXI4-Lite
+	AXI4Stream Family = "axi4-stream" // streaming AXI4-Stream
+	AvalonMM   Family = "avalon-mm"   // Intel Avalon memory-mapped
+	AvalonST   Family = "avalon-st"   // Intel Avalon streaming
+	Unified    Family = "unified"     // Harmonia's unified format
+)
+
+// Kind classifies an interface by the unified type it maps to.
+type Kind string
+
+// The unified interface types of §3.2, plus Raw for vendor-native ports
+// that have no unified counterpart until wrapped.
+const (
+	KindClock  Kind = "clock"
+	KindReset  Kind = "reset"
+	KindStream Kind = "stream"
+	KindMemMap Kind = "memmap"
+	KindReg    Kind = "reg"
+	KindIRQ    Kind = "irq"
+)
+
+// Direction of a signal from the IP's point of view.
+type Direction int
+
+// Signal directions.
+const (
+	In Direction = iota
+	Out
+	InOut
+)
+
+// String returns "in", "out" or "inout".
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("direction(%d)", int(d))
+	}
+}
+
+// Signal is one named wire bundle of an interface.
+type Signal struct {
+	Name     string
+	Width    int
+	Dir      Direction
+	Sideband bool // masks, empty flags, user bits, ...
+}
+
+// Interface is a named port of a hardware module: a protocol family, a
+// data width, and the full signal inventory.
+type Interface struct {
+	Name      string
+	Family    Family
+	Kind      Kind
+	DataWidth int
+	AddrWidth int
+	Signals   []Signal
+}
+
+// SignalCount reports the number of distinct signals.
+func (i Interface) SignalCount() int { return len(i.Signals) }
+
+// TotalWires reports the summed bit width of all signals.
+func (i Interface) TotalWires() int {
+	n := 0
+	for _, s := range i.Signals {
+		n += s.Width
+	}
+	return n
+}
+
+// SidebandCount reports how many signals are sideband.
+func (i Interface) SidebandCount() int {
+	n := 0
+	for _, s := range i.Signals {
+		if s.Sideband {
+			n++
+		}
+	}
+	return n
+}
+
+// signalSet returns the signal names of i.
+func (i Interface) signalSet() map[string]Signal {
+	m := make(map[string]Signal, len(i.Signals))
+	for _, s := range i.Signals {
+		m[s.Name] = s
+	}
+	return m
+}
+
+// Diff counts the signal-level differences between two interfaces: a
+// signal present in exactly one of them counts once; a signal present in
+// both with a different width or direction also counts once. This is the
+// metric behind the per-IP interface disparities of Fig. 3b.
+func Diff(a, b Interface) int {
+	as, bs := a.signalSet(), b.signalSet()
+	names := make([]string, 0, len(as)+len(bs))
+	for n := range as {
+		names = append(names, n)
+	}
+	for n := range bs {
+		if _, dup := as[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	diff := 0
+	for _, n := range names {
+		sa, oka := as[n]
+		sb, okb := bs[n]
+		switch {
+		case !oka || !okb:
+			diff++
+		case sa.Width != sb.Width || sa.Dir != sb.Dir:
+			diff++
+		}
+	}
+	return diff
+}

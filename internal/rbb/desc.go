@@ -1,0 +1,53 @@
+package rbb
+
+import (
+	"harmonia/internal/ip"
+	"harmonia/internal/platform"
+	"harmonia/internal/wrapper"
+)
+
+// Structural Desc constructors. These build the composite description
+// (wrapped vendor instance + reusable logic) without instantiating the
+// functional datapath — the form the shell builder consumes when it
+// assembles and tailors shells.
+
+// NewNetworkDesc returns the Network RBB description for a vendor MAC
+// at the given line rate.
+func NewNetworkDesc(vendor platform.Vendor, speed ip.Speed) (*Desc, error) {
+	mod, err := ip.MACModule(vendor, speed)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, overhead, err := wrapper.Wrap(mod)
+	if err != nil {
+		return nil, err
+	}
+	return networkDesc(wrapped, overhead), nil
+}
+
+// NewMemoryDesc returns the Memory RBB description for a vendor memory
+// controller.
+func NewMemoryDesc(vendor platform.Vendor, kind ip.MemKind) (*Desc, error) {
+	mod, err := ip.MemModule(vendor, kind)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, overhead, err := wrapper.Wrap(mod)
+	if err != nil {
+		return nil, err
+	}
+	return memoryDesc(wrapped, overhead), nil
+}
+
+// NewHostDesc returns the Host RBB description for a vendor DMA engine.
+func NewHostDesc(vendor platform.Vendor, gen, lanes int, variant ip.DMAVariant) (*Desc, error) {
+	mod, err := ip.DMAModule(vendor, gen, lanes, variant)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, overhead, err := wrapper.Wrap(mod)
+	if err != nil {
+		return nil, err
+	}
+	return hostDesc(wrapped, overhead), nil
+}

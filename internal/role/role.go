@@ -1,0 +1,67 @@
+// Package role models the user-owned role of the shell-role
+// architecture: application logic with declared shell demands and
+// configuration limited to the role-oriented parameters the tailored
+// shell exposes. Roles developed against the unified abstraction port
+// across platforms without modification (§3.3, Table 1).
+package role
+
+import (
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/shell"
+)
+
+// Role describes one accelerated application's FPGA-side logic.
+type Role struct {
+	// Name identifies the role.
+	Name string
+	// Demands drives hierarchical shell tailoring.
+	Demands shell.Demands
+	// Logic is the role's own structural footprint (the user-owned
+	// region's resources and code).
+	Logic *hdl.Module
+	// Settings holds the role's chosen values for exposed shell
+	// parameters, established by Configure.
+	Settings map[string]string
+	// ClockMHz is the role's requested user clock; integration checks
+	// it against the shell's timing closure.
+	ClockMHz float64
+}
+
+// New returns a role with the given demands and logic.
+func New(name string, demands shell.Demands, logic *hdl.Module) (*Role, error) {
+	if name == "" {
+		return nil, fmt.Errorf("role: empty name")
+	}
+	if logic == nil {
+		return nil, fmt.Errorf("role: %s has no logic module", name)
+	}
+	return &Role{
+		Name:     name,
+		Demands:  demands,
+		Logic:    logic,
+		Settings: make(map[string]string),
+		ClockMHz: 250,
+	}, nil
+}
+
+// Configure applies settings against the parameter set a tailored shell
+// exposes. Every setting must name an exposed role-oriented parameter —
+// anything else would be the role reaching into shell internals.
+func (r *Role) Configure(exposed []hdl.Param, settings map[string]string) error {
+	allowed := make(map[string]bool, len(exposed))
+	for _, p := range exposed {
+		allowed[p.Name] = true
+	}
+	for name, value := range settings {
+		if !allowed[name] {
+			return fmt.Errorf("role: %s sets %q, which the shell does not expose", r.Name, name)
+		}
+		r.Settings[name] = value
+	}
+	return nil
+}
+
+// ConfigItemCount reports how many shell parameters the role set.
+func (r *Role) ConfigItemCount() int { return len(r.Settings) }

@@ -1,0 +1,60 @@
+package role
+
+import (
+	"testing"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/platform"
+	"harmonia/internal/shell"
+)
+
+func testLogic() *hdl.Module {
+	return &hdl.Module{
+		Name: "app-logic",
+		Res:  hdl.Resources{LUT: 50_000, REG: 80_000, BRAM: 100},
+		Code: hdl.LoC{Handcraft: 12_000},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", shell.Demands{}, testLogic()); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := New("x", shell.Demands{}, nil); err == nil {
+		t.Error("nil logic should fail")
+	}
+	r, err := New("x", shell.Demands{}, testLogic())
+	if err != nil || r.Name != "x" {
+		t.Fatalf("New: %v", err)
+	}
+}
+
+func TestConfigureAgainstExposedParams(t *testing.T) {
+	unified, err := shell.BuildUnified(platform.DeviceA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailored, err := unified.Tailor(shell.Demands{
+		Network: &shell.NetworkDemand{Gbps: 100},
+		Host:    &shell.HostDemand{Queues: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := New("app", shell.Demands{}, testLogic())
+	exposed := tailored.ExposedParams()
+	// Setting an exposed param works.
+	if err := r.Configure(exposed, map[string]string{"FILTER_ENABLE": "0"}); err != nil {
+		t.Errorf("Configure exposed param: %v", err)
+	}
+	if r.ConfigItemCount() != 1 {
+		t.Errorf("ConfigItemCount = %d", r.ConfigItemCount())
+	}
+	// Reaching into shell internals fails.
+	if err := r.Configure(exposed, map[string]string{"WATCHDOG_TIMEOUT": "5s"}); err == nil {
+		t.Error("shell-oriented param accepted")
+	}
+	if err := r.Configure(exposed, map[string]string{"NO_SUCH": "1"}); err == nil {
+		t.Error("unknown param accepted")
+	}
+}

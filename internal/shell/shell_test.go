@@ -1,0 +1,365 @@
+package shell
+
+import (
+	"testing"
+	"testing/quick"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+)
+
+func TestBuildUnifiedDeviceA(t *testing.T) {
+	s, err := BuildUnified(platform.DeviceA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// device-a: 2 network cages share a model -> network RBB per cage
+	// model entry, HBM + DDR memory RBBs, host RBB, mgmt, uck.
+	if !s.HasRBB(rbb.NetworkKind) || !s.HasRBB(rbb.MemoryKind) || !s.HasRBB(rbb.HostKind) {
+		t.Errorf("unified shell missing RBB kinds: %v", s.ComponentNames())
+	}
+	if _, ok := s.Component("management"); !ok {
+		t.Error("management component missing")
+	}
+	if _, ok := s.Component("uck"); !ok {
+		t.Error("uck component missing")
+	}
+	if _, ok := s.Component("memory-HBM"); !ok {
+		t.Errorf("HBM RBB missing: %v", s.ComponentNames())
+	}
+	if _, ok := s.Component("memory-DDR4"); !ok {
+		t.Errorf("DDR RBB missing: %v", s.ComponentNames())
+	}
+	if s.Tailored {
+		t.Error("unified shell reports tailored")
+	}
+	if _, err := BuildUnified(nil); err == nil {
+		t.Error("nil device should fail")
+	}
+}
+
+func TestBuildUnifiedDeviceC(t *testing.T) {
+	// device-c has no external memory: no Memory RBB.
+	s, err := BuildUnified(platform.DeviceC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasRBB(rbb.MemoryKind) {
+		t.Error("device-c shell should have no memory RBB")
+	}
+	if !s.HasRBB(rbb.NetworkKind) || !s.HasRBB(rbb.HostKind) {
+		t.Error("device-c shell missing network/host RBBs")
+	}
+}
+
+func TestUnifiedShellUtilizationReasonable(t *testing.T) {
+	// A production shell occupies a meaningful but minority share of the
+	// chip (Fig. 11 shows up to ~30%).
+	for _, dev := range []*platform.Device{platform.DeviceA(), platform.DeviceB(), platform.DeviceD()} {
+		s, err := BuildUnified(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := s.Utilization()
+		if u["LUT"] < 0.05 || u["LUT"] > 0.45 {
+			t.Errorf("%s unified shell LUT occupancy = %.1f%%, want 5-45%%", dev.Name, u["LUT"]*100)
+		}
+	}
+}
+
+func TestTailorRemovesModules(t *testing.T) {
+	dev := platform.DeviceA()
+	unified, err := BuildUnified(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bump-in-the-wire role: network + bulk host, no external memory.
+	tailored, err := unified.Tailor(Demands{
+		Network: &NetworkDemand{Gbps: 100, Filter: true, Director: true},
+		Host:    &HostDemand{Bulk: true, Queues: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tailored.HasRBB(rbb.MemoryKind) {
+		t.Error("memory RBB not removed")
+	}
+	if !tailored.Tailored {
+		t.Error("tailored flag not set")
+	}
+	ur, tr := unified.Resources(), tailored.Resources()
+	if tr.LUT >= ur.LUT {
+		t.Errorf("tailored LUT %d not below unified %d", tr.LUT, ur.LUT)
+	}
+	// BDMA instance selected: host component smaller than unified's SGDMA.
+	uh, _ := unified.Component("host-pcie")
+	th, _ := tailored.Component("host-pcie")
+	if th.Resources().LUT >= uh.Resources().LUT {
+		t.Error("bulk demand did not select the leaner BDMA instance")
+	}
+}
+
+func TestTailorSelectsMACInstance(t *testing.T) {
+	unified, _ := BuildUnified(platform.DeviceA())
+	tailored, err := unified.Tailor(Demands{Network: &NetworkDemand{Gbps: 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := tailored.Component("network")
+	if !ok {
+		t.Fatal("network component missing")
+	}
+	// 25G demand picks the 25G MAC, much smaller than the 100G one.
+	u, _ := unified.Component("network-QSFP28")
+	if c.Resources().LUT >= u.Resources().LUT {
+		t.Error("25G demand did not select a smaller MAC instance")
+	}
+}
+
+func TestTailorRejectsImpossibleDemands(t *testing.T) {
+	unifiedC, _ := BuildUnified(platform.DeviceC())
+	// device-c has no memory.
+	if _, err := unifiedC.Tailor(Demands{Memory: []MemoryDemand{{Kind: ip.HBMMem}}}); err == nil {
+		t.Error("HBM demand on device-c should fail")
+	}
+	// 400G demand on 100G cages.
+	unifiedA, _ := BuildUnified(platform.DeviceA())
+	if _, err := unifiedA.Tailor(Demands{Network: &NetworkDemand{Gbps: 400}}); err == nil {
+		t.Error("400G demand on device-a should fail")
+	}
+	// Too many queues.
+	if _, err := unifiedA.Tailor(Demands{Host: &HostDemand{Queues: 4096}}); err == nil {
+		t.Error("4096-queue demand should fail")
+	}
+	// Double tailoring.
+	tailored, err := unifiedA.Tailor(Demands{Host: &HostDemand{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tailored.Tailor(Demands{}); err == nil {
+		t.Error("tailoring a tailored shell should fail")
+	}
+}
+
+func TestPropertyLevelTailoring(t *testing.T) {
+	unified, _ := BuildUnified(platform.DeviceA())
+	tailored, err := unified.Tailor(Demands{
+		Network: &NetworkDemand{Gbps: 100},
+		Memory:  []MemoryDemand{{Kind: ip.HBMMem}},
+		Host:    &HostDemand{Queues: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposed := tailored.ExposedParams()
+	native := tailored.NativeParamCount()
+	if len(exposed) == 0 {
+		t.Fatal("no role-oriented params exposed")
+	}
+	if native <= len(exposed)*5 {
+		t.Errorf("native %d vs exposed %d: property tailoring should cut ~10x", native, len(exposed))
+	}
+	for _, p := range exposed {
+		if p.Scope != hdl.RoleOriented {
+			t.Errorf("shell-oriented param %q leaked to the role", p.Name)
+		}
+	}
+}
+
+func TestReportSavingsInPaperBand(t *testing.T) {
+	// Fig. 11: tailored shells save 3-25.1% of shell resources.
+	dev := platform.DeviceA()
+	unified, _ := BuildUnified(dev)
+	demandSets := map[string]Demands{
+		"sec-gateway": {
+			Network: &NetworkDemand{Gbps: 100, Filter: true},
+			Memory:  []MemoryDemand{{Kind: ip.DDR4Mem}},
+			Host:    &HostDemand{Bulk: true, Queues: 16},
+		},
+		"layer4-lb": {
+			Network: &NetworkDemand{Gbps: 100, Director: true},
+			Memory:  []MemoryDemand{{Kind: ip.HBMMem}},
+			Host:    &HostDemand{Bulk: true, Queues: 64},
+		},
+		"retrieval": {
+			Memory: []MemoryDemand{{Kind: ip.HBMMem}, {Kind: ip.DDR4Mem}},
+			Host:   &HostDemand{Queues: 256},
+		},
+	}
+	for name, d := range demandSets {
+		tailored, err := unified.Tailor(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, err := Report(unified, tailored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Savings["LUT"] < 0.02 || rep.Savings["LUT"] > 0.35 {
+			t.Errorf("%s LUT saving = %.1f%%, want within the 3-25.1%% band (tolerance 2-35)",
+				name, rep.Savings["LUT"]*100)
+		}
+		// Fig. 12: config reduction 8.8-19.8x.
+		if rep.ConfigRatio < 6 || rep.ConfigRatio > 25 {
+			t.Errorf("%s config ratio = %.1fx, want ~8.8-19.8x", name, rep.ConfigRatio)
+		}
+	}
+}
+
+func TestReportValidation(t *testing.T) {
+	a, _ := BuildUnified(platform.DeviceA())
+	b, _ := BuildUnified(platform.DeviceB())
+	if _, err := Report(nil, a); err == nil {
+		t.Error("nil shell should fail")
+	}
+	if _, err := Report(a, b); err == nil {
+		t.Error("cross-device report should fail")
+	}
+}
+
+func TestUCKOverheadUnderBound(t *testing.T) {
+	// Fig. 16: the unified control kernel consumes < 0.67% of resources
+	// on every evaluated device.
+	uck := uckComponent()
+	for _, dev := range []*platform.Device{
+		platform.DeviceA(), platform.DeviceB(), platform.DeviceC(), platform.DeviceD(),
+	} {
+		frac := uck.Res.Utilization(dev.Chip.Capacity)
+		if frac > 0.0067 {
+			t.Errorf("UCK on %s uses %.2f%%, want < 0.67%%", dev.Name, frac*100)
+		}
+	}
+}
+
+func TestShellCodeAggregation(t *testing.T) {
+	s, _ := BuildUnified(platform.DeviceB())
+	code := s.Code()
+	if code.Handcraft == 0 || code.Generated == 0 {
+		t.Errorf("shell code = %+v", code)
+	}
+	// Shells are tens of thousands of lines (§2.3).
+	if code.Total() < 20_000 {
+		t.Errorf("shell total code = %d, want tens of thousands", code.Total())
+	}
+}
+
+func TestMACSpeedSelection(t *testing.T) {
+	// The tailorer picks the smallest sufficient MAC instance; demands
+	// beyond 400G are unsatisfiable.
+	devC := platform.DeviceC() // DSFP cages (100G)
+	unified, err := BuildUnified(devC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailored, err := unified.Tailor(Demands{Network: &NetworkDemand{Gbps: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := tailored.ComponentNames()
+	found := false
+	for _, n := range names {
+		if n == "network" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("network component missing: %v", names)
+	}
+	if _, err := unified.Tailor(Demands{Network: &NetworkDemand{Gbps: 999}}); err == nil {
+		t.Error("999 Gbps demand accepted")
+	}
+}
+
+func TestExposedParamsBeforeTailoring(t *testing.T) {
+	s, err := BuildUnified(platform.DeviceB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untailored shells expose the full native inventory.
+	if got := len(s.ExposedParams()); got != s.NativeParamCount() {
+		t.Errorf("untailored exposed %d, want native %d", got, s.NativeParamCount())
+	}
+	names := s.ComponentNames()
+	if len(names) != len(s.Components) {
+		t.Errorf("ComponentNames = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Error("ComponentNames not sorted")
+		}
+	}
+}
+
+func TestMinFmax(t *testing.T) {
+	s, err := BuildUnified(platform.DeviceA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := s.MinFmaxMHz()
+	// The UCK soft core (320 MHz) is the tightest base component; RBB
+	// composites close at <= 400.
+	if min <= 0 || min > 320 {
+		t.Errorf("MinFmaxMHz = %v, want (0, 320]", min)
+	}
+	// Every component reports a closure.
+	for _, c := range s.Components {
+		if c.Fmax() <= 0 {
+			t.Errorf("component %s has no Fmax", c.Name)
+		}
+	}
+}
+
+// Property: for any demand subset, tailoring never grows resources,
+// never leaks shell-oriented parameters, and always keeps the base
+// components.
+func TestTailoringProperty(t *testing.T) {
+	unified, err := BuildUnified(platform.DeviceA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur := unified.Resources()
+	f := func(mask uint8) bool {
+		d := Demands{}
+		if mask&1 != 0 {
+			gbps := 25.0
+			if mask&2 != 0 {
+				gbps = 100
+			}
+			d.Network = &NetworkDemand{Gbps: gbps}
+		}
+		if mask&4 != 0 {
+			d.Memory = append(d.Memory, MemoryDemand{Kind: ip.HBMMem})
+		}
+		if mask&8 != 0 {
+			d.Memory = append(d.Memory, MemoryDemand{Kind: ip.DDR4Mem})
+		}
+		if mask&16 != 0 {
+			d.Host = &HostDemand{Bulk: mask&32 != 0, Queues: int(mask%8)*64 + 1}
+		}
+		tailored, err := unified.Tailor(d)
+		if err != nil {
+			return false
+		}
+		tr := tailored.Resources()
+		if tr.LUT > ur.LUT || tr.REG > ur.REG || tr.BRAM > ur.BRAM || tr.URAM > ur.URAM {
+			return false
+		}
+		for _, p := range tailored.ExposedParams() {
+			if p.Scope != hdl.RoleOriented {
+				return false
+			}
+		}
+		if _, ok := tailored.Component("management"); !ok {
+			return false
+		}
+		if _, ok := tailored.Component("uck"); !ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package shell
+
+import (
+	"fmt"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+)
+
+// NetworkDemand states a role's networking requirement.
+type NetworkDemand struct {
+	// Gbps is the required line rate; the tailorer selects the smallest
+	// MAC instance that satisfies it.
+	Gbps float64
+	// Filter and Director request the Ex-functions (kept for resource
+	// accounting; disabling them is a property, not a module removal).
+	Filter, Director bool
+}
+
+// MemoryDemand states one required memory kind.
+type MemoryDemand struct {
+	Kind ip.MemKind
+}
+
+// HostDemand states a role's host-communication requirement.
+type HostDemand struct {
+	// Bulk selects the leaner BDMA engine instead of scatter-gather.
+	Bulk bool
+	// Queues is the number of DMA queues the role uses.
+	Queues int
+}
+
+// Demands collects a role's shell requirements for tailoring.
+type Demands struct {
+	Network *NetworkDemand
+	Memory  []MemoryDemand
+	Host    *HostDemand
+}
+
+// Tailor applies hierarchical tailoring to the unified shell and
+// returns a role-specific instance:
+//
+//   - Module level: RBBs the role does not demand are removed; for the
+//     remaining RBBs, instances are selected to fulfil the role's
+//     data-transfer performance (MAC speed, BDMA vs SGDMA).
+//   - Property level: vendor-instance properties are split into the
+//     shell-oriented part (absorbed) and the role-oriented part (the
+//     only configuration the role sees).
+func (s *Shell) Tailor(d Demands) (*Shell, error) {
+	if s.Tailored {
+		return nil, fmt.Errorf("shell: already tailored")
+	}
+	dev := s.Device
+	out := &Shell{Device: dev, Tailored: true}
+	// Base components always remain.
+	out.Components = append(out.Components, managementComponent(), uckComponent())
+
+	if d.Network != nil {
+		cage, ok := dev.Peripheral(platform.Network, "")
+		if !ok {
+			return nil, fmt.Errorf("shell: role demands networking but %s has no cage", dev.Name)
+		}
+		if d.Network.Gbps > cage.GbpsPerUnit {
+			return nil, fmt.Errorf("shell: role demands %v Gbps but %s cages provide %v",
+				d.Network.Gbps, dev.Name, cage.GbpsPerUnit)
+		}
+		speed, err := macSpeedFor(d.Network.Gbps)
+		if err != nil {
+			return nil, err
+		}
+		desc, err := rbb.NewNetworkDesc(dev.Vendor, speed)
+		if err != nil {
+			return nil, err
+		}
+		out.Components = append(out.Components, Component{Name: "network", RBB: desc})
+	}
+	for _, md := range d.Memory {
+		var model string
+		switch md.Kind {
+		case ip.HBMMem:
+			model = "HBM"
+		case ip.DDR4Mem:
+			model = "DDR4"
+		default:
+			return nil, fmt.Errorf("shell: unknown memory demand %q", md.Kind)
+		}
+		if !dev.HasPeripheral(model) {
+			return nil, fmt.Errorf("shell: role demands %s but %s has none", model, dev.Name)
+		}
+		desc, err := rbb.NewMemoryDesc(dev.Vendor, md.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out.Components = append(out.Components, Component{Name: "memory-" + model, RBB: desc})
+	}
+	if d.Host != nil {
+		pcie, ok := dev.PCIe()
+		if !ok {
+			return nil, fmt.Errorf("shell: role demands host access but %s has no PCIe", dev.Name)
+		}
+		variant := ip.SGDMA
+		if d.Host.Bulk {
+			variant = ip.BDMA
+		}
+		desc, err := rbb.NewHostDesc(dev.Vendor, pcie.PCIeGen, pcie.PCIeLanes, variant)
+		if err != nil {
+			return nil, err
+		}
+		if d.Host.Queues > 0 {
+			spec, err := ip.SpecForDMA(pcie.PCIeGen, pcie.PCIeLanes)
+			if err != nil {
+				return nil, err
+			}
+			if d.Host.Queues > spec.QueueCount {
+				return nil, fmt.Errorf("shell: role demands %d queues, engine provides %d",
+					d.Host.Queues, spec.QueueCount)
+			}
+		}
+		out.Components = append(out.Components, Component{Name: "host-pcie", RBB: desc})
+	}
+
+	// Property-level tailoring: expose only role-oriented parameters.
+	for _, c := range out.Components {
+		for _, p := range c.AllParams() {
+			if p.Scope == hdl.RoleOriented {
+				out.exposed = append(out.exposed, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// TailoringReport compares a unified shell and a tailored instance.
+type TailoringReport struct {
+	UnifiedRes  hdl.Resources
+	TailoredRes hdl.Resources
+	// Savings is the relative resource reduction per resource type.
+	Savings map[string]float64
+	// NativeConfigs and RoleConfigs count configuration items before
+	// and after property-level tailoring; Ratio is their quotient.
+	NativeConfigs int
+	RoleConfigs   int
+	ConfigRatio   float64
+}
+
+// Report computes the tailoring benefit of a tailored shell versus a
+// unified shell on the same device.
+func Report(unified, tailored *Shell) (TailoringReport, error) {
+	if unified == nil || tailored == nil {
+		return TailoringReport{}, fmt.Errorf("shell: nil shell")
+	}
+	if unified.Device.Name != tailored.Device.Name {
+		return TailoringReport{}, fmt.Errorf("shell: device mismatch %s vs %s",
+			unified.Device.Name, tailored.Device.Name)
+	}
+	ur, tr := unified.Resources(), tailored.Resources()
+	savings := make(map[string]float64, len(hdl.ResourceKinds))
+	for _, kind := range hdl.ResourceKinds {
+		u, _ := ur.Get(kind)
+		tv, _ := tr.Get(kind)
+		if u > 0 {
+			savings[kind] = float64(u-tv) / float64(u)
+		}
+	}
+	rep := TailoringReport{
+		UnifiedRes:    ur,
+		TailoredRes:   tr,
+		Savings:       savings,
+		NativeConfigs: tailored.NativeParamCount(),
+		RoleConfigs:   len(tailored.ExposedParams()),
+	}
+	if rep.RoleConfigs > 0 {
+		rep.ConfigRatio = float64(rep.NativeConfigs) / float64(rep.RoleConfigs)
+	}
+	return rep, nil
+}

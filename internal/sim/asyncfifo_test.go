@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAsyncFIFOVisibilityDelay(t *testing.T) {
+	wr := NewClock("wr", 322) // MAC-ish
+	rd := NewClock("rd", 250) // user-ish
+	f := NewAsyncFIFO("cdc", 16, wr, rd)
+
+	if !f.Push(0, Item{Bits: 512}) {
+		t.Fatal("push failed")
+	}
+	// Not yet visible: needs two read-clock synchronizer stages.
+	if _, ok := f.Pop(0); ok {
+		t.Error("item visible immediately across clock domains")
+	}
+	vis, ok := f.NextVisible()
+	if !ok {
+		t.Fatal("NextVisible reported empty")
+	}
+	if vis <= 0 || vis > f.CrossingLatency() {
+		t.Errorf("visibility time %d outside (0, %d]", vis, f.CrossingLatency())
+	}
+	if _, ok := f.Pop(vis - 1); ok {
+		t.Error("item visible before synchronizer delay elapsed")
+	}
+	it, ok := f.Pop(vis)
+	if !ok || it.Bits != 512 {
+		t.Errorf("Pop(visible) = %+v, %v", it, ok)
+	}
+}
+
+func TestAsyncFIFOFullRejects(t *testing.T) {
+	clk := NewClock("c", 100)
+	f := NewAsyncFIFO("cdc", 2, clk, clk)
+	f.Push(0, Item{})
+	f.Push(0, Item{})
+	if f.Push(0, Item{}) {
+		t.Error("push into full AsyncFIFO succeeded")
+	}
+	if f.Drops() != 1 {
+		t.Errorf("Drops() = %d, want 1", f.Drops())
+	}
+}
+
+func TestAsyncFIFOOrderPreservedAcrossDomains(t *testing.T) {
+	wr := NewClock("wr", 400)
+	rd := NewClock("rd", 100)
+	f := NewAsyncFIFO("cdc", 64, wr, rd)
+	now := Time(0)
+	for i := 0; i < 50; i++ {
+		if !f.Push(now, Item{Bits: i}) {
+			t.Fatalf("push %d failed", i)
+		}
+		now += wr.Period()
+	}
+	// Read everything far in the future; order must be FIFO.
+	rt := Time(Second)
+	for i := 0; i < 50; i++ {
+		it, ok := f.Pop(rt)
+		if !ok || it.Bits != i {
+			t.Fatalf("pop %d = %+v, %v", i, it, ok)
+		}
+	}
+}
+
+func TestAsyncFIFOCrossingLatencyScalesWithReadClock(t *testing.T) {
+	wr := NewClock("wr", 500)
+	slow := NewAsyncFIFO("s", 4, wr, NewClock("rd", 50))
+	fast := NewAsyncFIFO("f", 4, wr, NewClock("rd", 500))
+	if slow.CrossingLatency() <= fast.CrossingLatency() {
+		t.Errorf("slow read clock crossing %v should exceed fast %v",
+			slow.CrossingLatency(), fast.CrossingLatency())
+	}
+}
+
+// Property: an item is never readable before the write commits, and
+// always readable by commit + CrossingLatency.
+func TestAsyncFIFOVisibilityProperty(t *testing.T) {
+	wr := NewClock("wr", 322)
+	rd := NewClock("rd", 250)
+	f := func(raw int64) bool {
+		now := Time(raw % int64(Millisecond))
+		if now < 0 {
+			now = -now
+		}
+		q := NewAsyncFIFO("p", 4, wr, rd)
+		q.Push(now, Item{})
+		vis, ok := q.NextVisible()
+		if !ok {
+			return false
+		}
+		commit := wr.NextEdge(now)
+		return vis >= commit && vis <= commit+q.CrossingLatency()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsyncFIFOConstructorPanics(t *testing.T) {
+	clk := NewClock("c", 100)
+	for _, tc := range []func(){
+		func() { NewAsyncFIFO("bad", 0, clk, clk) },
+		func() { NewAsyncFIFO("bad", 4, nil, clk) },
+		func() { NewAsyncFIFO("bad", 4, clk, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor did not panic on invalid args")
+				}
+			}()
+			tc()
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOForEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-timestamp events ran out of order at %d: %v...", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(5, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Errorf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	var ran Time = -1
+	e.At(100, func() {
+		e.At(50, func() { ran = e.Now() }) // in the past: clamps to 100
+	})
+	e.Run()
+	if ran != 100 {
+		t.Errorf("past-scheduled event ran at %d, want 100", ran)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for _, at := range []Time{5, 10, 15, 20} {
+		e.At(at, func() { count++ })
+	}
+	e.RunUntil(12)
+	if count != 2 {
+		t.Errorf("events run by t=12: %d, want 2", count)
+	}
+	if e.Now() != 12 {
+		t.Errorf("Now() = %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if count != 4 || e.Now() != 20 {
+		t.Errorf("after Run: count=%d now=%d, want 4, 20", count, e.Now())
+	}
+}
+
+func TestEngineMonotonicTime(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	times := make([]Time, 1000)
+	for i := range times {
+		times[i] = Time(rng.Int63n(1_000_000))
+	}
+	var observed []Time
+	for _, at := range times {
+		e.At(at, func() { observed = append(observed, e.Now()) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(observed, func(i, j int) bool { return observed[i] < observed[j] }) {
+		t.Error("engine time went backwards")
+	}
+	if e.Processed() != 1000 {
+		t.Errorf("Processed() = %d, want 1000", e.Processed())
+	}
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step() on empty engine reported true")
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO("q", 2)
+	if !f.Empty() || f.Full() || f.Len() != 0 {
+		t.Fatal("new FIFO not empty")
+	}
+	if !f.Push(Item{Bits: 1}) || !f.Push(Item{Bits: 2}) {
+		t.Fatal("pushes into non-full FIFO failed")
+	}
+	if f.Push(Item{Bits: 3}) {
+		t.Error("push into full FIFO succeeded")
+	}
+	if f.Drops() != 1 {
+		t.Errorf("Drops() = %d, want 1", f.Drops())
+	}
+	it, ok := f.Pop()
+	if !ok || it.Bits != 1 {
+		t.Errorf("Pop() = %+v, %v, want Bits=1", it, ok)
+	}
+	it, ok = f.Pop()
+	if !ok || it.Bits != 2 {
+		t.Errorf("Pop() = %+v, %v, want Bits=2", it, ok)
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("Pop() on empty FIFO succeeded")
+	}
+	if f.MaxDepth() != 2 {
+		t.Errorf("MaxDepth() = %d, want 2", f.MaxDepth())
+	}
+}
+
+func TestFIFOPeek(t *testing.T) {
+	f := NewFIFO("q", 4)
+	if _, ok := f.Peek(); ok {
+		t.Error("Peek() on empty FIFO succeeded")
+	}
+	f.Push(Item{Bits: 7})
+	it, ok := f.Peek()
+	if !ok || it.Bits != 7 {
+		t.Errorf("Peek() = %+v, %v, want Bits=7", it, ok)
+	}
+	if f.Len() != 1 {
+		t.Error("Peek() consumed the item")
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	f := NewFIFO("q", 8)
+	// Interleave pushes and pops to exercise the ring compaction path.
+	next := 0
+	popped := 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3 && !f.Full(); i++ {
+			f.Push(Item{Bits: next})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			it, ok := f.Pop()
+			if !ok {
+				break
+			}
+			if it.Bits != popped {
+				t.Fatalf("round %d: popped %d, want %d", round, it.Bits, popped)
+			}
+			popped++
+		}
+	}
+	for {
+		it, ok := f.Pop()
+		if !ok {
+			break
+		}
+		if it.Bits != popped {
+			t.Fatalf("drain: popped %d, want %d", it.Bits, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Errorf("popped %d items, pushed %d", popped, next)
+	}
+}
+
+func TestFIFOReset(t *testing.T) {
+	f := NewFIFO("q", 2)
+	f.Push(Item{})
+	f.Push(Item{})
+	f.Push(Item{})
+	f.Reset()
+	if !f.Empty() || f.Drops() != 0 || f.MaxDepth() != 0 || f.Pushes() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestFIFOPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFIFO(0) did not panic")
+		}
+	}()
+	NewFIFO("bad", 0)
+}
+
+// Property: occupancy invariants hold under arbitrary push/pop sequences.
+func TestFIFOOccupancyProperty(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		q := NewFIFO("p", capacity)
+		model := 0
+		for _, push := range ops {
+			if push {
+				ok := q.Push(Item{})
+				if ok != (model < capacity) {
+					return false
+				}
+				if ok {
+					model++
+				}
+			} else {
+				_, ok := q.Pop()
+				if ok != (model > 0) {
+					return false
+				}
+				if ok {
+					model--
+				}
+			}
+			if q.Len() != model {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

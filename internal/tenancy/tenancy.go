@@ -1,0 +1,214 @@
+// Package tenancy implements the multi-tenancy support discussed in §6:
+// partial-reconfiguration slots in the role region, per-tenant traffic
+// isolation through the Network RBB's flow director, and independent
+// host DMA queues per tenant. Admitting or evicting one tenant
+// reconfigures only its slot; co-resident tenants keep running.
+package tenancy
+
+import (
+	"fmt"
+	"sort"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/net"
+	"harmonia/internal/rbb"
+	"harmonia/internal/sim"
+)
+
+// SlotConfig shapes the role region's partial-reconfiguration layout.
+type SlotConfig struct {
+	// Slots is the number of PR slots the role region is divided into.
+	Slots int
+	// SlotRes is the resource budget of one slot.
+	SlotRes hdl.Resources
+	// ReconfigTime is the partial-bitstream load time per slot.
+	ReconfigTime sim.Time
+	// QueuesPerTenant is each tenant's host-queue allocation.
+	QueuesPerTenant int
+}
+
+// DefaultSlotConfig returns a typical four-slot layout.
+func DefaultSlotConfig() SlotConfig {
+	return SlotConfig{
+		Slots:           4,
+		SlotRes:         hdl.Resources{LUT: 120_000, REG: 180_000, BRAM: 260, URAM: 32, DSP: 720},
+		ReconfigTime:    8 * sim.Millisecond,
+		QueuesPerTenant: 64,
+	}
+}
+
+// Tenant is one admitted user sharing the FPGA.
+type Tenant struct {
+	ID   int
+	Name string
+	Slot int
+	// QueueLo/QueueHi is the tenant's host queue range [lo, hi).
+	QueueLo, QueueHi int
+	// VIPs are the addresses whose traffic the flow director steers to
+	// this tenant.
+	VIPs []net.IPAddr
+	// ReadyAt is when the slot's partial reconfiguration completes.
+	ReadyAt sim.Time
+}
+
+type slot struct {
+	occupant  int // -1 when free
+	busyUntil sim.Time
+}
+
+// Manager multiplexes tenants over one deployment's RBBs.
+type Manager struct {
+	cfg      SlotConfig
+	director *rbb.FlowDirector
+	host     *rbb.HostRBB
+	slots    []slot
+	tenants  map[int]*Tenant
+	nextID   int
+	nextQ    int
+}
+
+// NewManager returns a manager over the Network RBB's flow director and
+// the Host RBB.
+func NewManager(cfg SlotConfig, director *rbb.FlowDirector, host *rbb.HostRBB) (*Manager, error) {
+	if cfg.Slots <= 0 || cfg.QueuesPerTenant <= 0 {
+		return nil, fmt.Errorf("tenancy: invalid slot config %+v", cfg)
+	}
+	if director == nil || host == nil {
+		return nil, fmt.Errorf("tenancy: manager requires a flow director and a host RBB")
+	}
+	if cfg.Slots*cfg.QueuesPerTenant > host.Spec().QueueCount {
+		return nil, fmt.Errorf("tenancy: %d slots x %d queues exceed the %d hardware queues",
+			cfg.Slots, cfg.QueuesPerTenant, host.Spec().QueueCount)
+	}
+	slots := make([]slot, cfg.Slots)
+	for i := range slots {
+		slots[i].occupant = -1
+	}
+	return &Manager{
+		cfg:      cfg,
+		director: director,
+		host:     host,
+		slots:    slots,
+		tenants:  make(map[int]*Tenant),
+	}, nil
+}
+
+// FreeSlots reports how many PR slots are unoccupied.
+func (m *Manager) FreeSlots() int {
+	n := 0
+	for _, s := range m.slots {
+		if s.occupant < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Tenants lists admitted tenants sorted by ID.
+func (m *Manager) Tenants() []*Tenant {
+	out := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Admit places a tenant: checks its logic fits a slot's budget,
+// partially reconfigures the slot, allocates an isolated queue range
+// and programs the flow director. Other tenants are untouched.
+func (m *Manager) Admit(now sim.Time, name string, logic hdl.Resources, vips []net.IPAddr) (*Tenant, error) {
+	if logic.Utilization(m.cfg.SlotRes) > 1 {
+		return nil, fmt.Errorf("tenancy: %s needs more than one slot's budget (%s > %s)",
+			name, logic.String(), m.cfg.SlotRes.String())
+	}
+	slotIdx := -1
+	for i, s := range m.slots {
+		if s.occupant < 0 {
+			slotIdx = i
+			break
+		}
+	}
+	if slotIdx < 0 {
+		return nil, fmt.Errorf("tenancy: no free slot for %s (have %d tenants)", name, len(m.tenants))
+	}
+
+	id := m.nextID
+	m.nextID++
+	lo := m.nextQ
+	hi := lo + m.cfg.QueuesPerTenant
+	if err := m.director.AddTenant(id, lo, hi); err != nil {
+		return nil, err
+	}
+	for _, vip := range vips {
+		if err := m.director.AddRule(vip, id); err != nil {
+			return nil, err
+		}
+	}
+	for q := lo; q < hi; q++ {
+		if err := m.host.AssignQueue(q, id); err != nil {
+			return nil, err
+		}
+	}
+	m.nextQ = hi
+
+	// Partial reconfiguration occupies only this slot.
+	start := now
+	if m.slots[slotIdx].busyUntil > start {
+		start = m.slots[slotIdx].busyUntil
+	}
+	ready := start + m.cfg.ReconfigTime
+	m.slots[slotIdx] = slot{occupant: id, busyUntil: ready}
+
+	t := &Tenant{
+		ID: id, Name: name, Slot: slotIdx,
+		QueueLo: lo, QueueHi: hi,
+		VIPs:    append([]net.IPAddr(nil), vips...),
+		ReadyAt: ready,
+	}
+	m.tenants[id] = t
+	return t, nil
+}
+
+// Evict removes a tenant, freeing its slot (after a reconfiguration to
+// the blank image). Its queue range is retired, not recycled — hardware
+// queue reuse across tenants would leak state.
+func (m *Manager) Evict(now sim.Time, tenantID int) (sim.Time, error) {
+	t, ok := m.tenants[tenantID]
+	if !ok {
+		return now, fmt.Errorf("tenancy: unknown tenant %d", tenantID)
+	}
+	done := now + m.cfg.ReconfigTime
+	m.slots[t.Slot] = slot{occupant: -1, busyUntil: done}
+	delete(m.tenants, tenantID)
+	return done, nil
+}
+
+// Owner reports which tenant owns a host queue.
+func (m *Manager) Owner(queue int) (*Tenant, bool) {
+	for _, t := range m.tenants {
+		if queue >= t.QueueLo && queue < t.QueueHi {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Route steers a packet to its tenant's queue range via the flow
+// director and verifies the isolation invariant: the selected queue
+// must belong to the matched tenant.
+func (m *Manager) Route(p *net.Packet) (queue int, t *Tenant, err error) {
+	q, tenantID, ok := m.director.Direct(p)
+	if !ok {
+		return 0, nil, fmt.Errorf("tenancy: no tenant for flow to %s", p.DstIP)
+	}
+	tn, exists := m.tenants[tenantID]
+	if !exists {
+		return 0, nil, fmt.Errorf("tenancy: director matched retired tenant %d", tenantID)
+	}
+	if q < tn.QueueLo || q >= tn.QueueHi {
+		return 0, nil, fmt.Errorf("tenancy: isolation violation: queue %d outside [%d,%d)",
+			q, tn.QueueLo, tn.QueueHi)
+	}
+	return q, tn, nil
+}

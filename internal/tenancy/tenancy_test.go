@@ -1,0 +1,181 @@
+package tenancy
+
+import (
+	"testing"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/sim"
+)
+
+func newManager(t *testing.T) (*Manager, *rbb.NetworkRBB, *rbb.HostRBB) {
+	t.Helper()
+	clk := apps.UserClock()
+	n, err := rbb.NewNetwork(platform.Xilinx, ip.Speed100G, clk, apps.UserWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := rbb.NewHost(platform.Xilinx, 4, 16, ip.SGDMA, clk, apps.UserWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(DefaultSlotConfig(), n.Director, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, n, h
+}
+
+func smallLogic() hdl.Resources {
+	return hdl.Resources{LUT: 50_000, REG: 70_000, BRAM: 90, DSP: 100}
+}
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager(SlotConfig{}, nil, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	clk := apps.UserClock()
+	h, _ := rbb.NewHost(platform.Xilinx, 4, 16, ip.SGDMA, clk, apps.UserWidth)
+	n, _ := rbb.NewNetwork(platform.Xilinx, ip.Speed100G, clk, apps.UserWidth)
+	cfg := DefaultSlotConfig()
+	cfg.QueuesPerTenant = 10_000 // exceeds hardware queues
+	if _, err := NewManager(cfg, n.Director, h); err == nil {
+		t.Error("queue overcommit accepted")
+	}
+}
+
+func TestAdmitAllocatesIsolatedResources(t *testing.T) {
+	m, _, h := newManager(t)
+	vipA := net.IPv4(20, 0, 0, 1)
+	vipB := net.IPv4(20, 0, 0, 2)
+	a, err := m.Admit(0, "tenant-a", smallLogic(), []net.IPAddr{vipA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Admit(0, "tenant-b", smallLogic(), []net.IPAddr{vipB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint queue ranges and distinct slots.
+	if a.QueueHi > b.QueueLo && b.QueueHi > a.QueueLo {
+		t.Errorf("queue ranges overlap: %+v vs %+v", a, b)
+	}
+	if a.Slot == b.Slot {
+		t.Error("tenants share a PR slot")
+	}
+	// Host RBB queue ownership matches.
+	owner, ok := h.Owner(a.QueueLo)
+	if !ok || owner != a.ID {
+		t.Errorf("queue %d owner = %d, want %d", a.QueueLo, owner, a.ID)
+	}
+	if m.FreeSlots() != DefaultSlotConfig().Slots-2 {
+		t.Errorf("FreeSlots = %d", m.FreeSlots())
+	}
+	if len(m.Tenants()) != 2 {
+		t.Errorf("Tenants = %d", len(m.Tenants()))
+	}
+}
+
+func TestTrafficIsolation(t *testing.T) {
+	m, _, _ := newManager(t)
+	vipA := net.IPv4(20, 0, 0, 1)
+	vipB := net.IPv4(20, 0, 0, 2)
+	a, _ := m.Admit(0, "tenant-a", smallLogic(), []net.IPAddr{vipA})
+	b, _ := m.Admit(0, "tenant-b", smallLogic(), []net.IPAddr{vipB})
+
+	for port := uint16(1000); port < 1200; port++ {
+		pa := &net.Packet{DstIP: vipA, SrcIP: net.IPv4(1, 1, 1, 1), Proto: net.ProtoTCP, SrcPort: port, DstPort: 80}
+		q, tn, err := m.Route(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tn.ID != a.ID || q < a.QueueLo || q >= a.QueueHi {
+			t.Fatalf("tenant-a flow routed to queue %d of tenant %d", q, tn.ID)
+		}
+		pb := &net.Packet{DstIP: vipB, SrcIP: net.IPv4(1, 1, 1, 1), Proto: net.ProtoTCP, SrcPort: port, DstPort: 80}
+		q, tn, err = m.Route(pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tn.ID != b.ID || q < b.QueueLo || q >= b.QueueHi {
+			t.Fatalf("tenant-b flow routed to queue %d of tenant %d", q, tn.ID)
+		}
+	}
+}
+
+func TestAdmitRejectsOversizedLogic(t *testing.T) {
+	m, _, _ := newManager(t)
+	huge := hdl.Resources{LUT: 500_000}
+	if _, err := m.Admit(0, "huge", huge, nil); err == nil {
+		t.Error("oversized tenant admitted")
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	m, _, _ := newManager(t)
+	for i := 0; i < DefaultSlotConfig().Slots; i++ {
+		if _, err := m.Admit(0, "t", smallLogic(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Admit(0, "overflow", smallLogic(), nil); err == nil {
+		t.Error("admission beyond slot count succeeded")
+	}
+}
+
+func TestEvictFreesSlotOnly(t *testing.T) {
+	m, _, _ := newManager(t)
+	vipA := net.IPv4(20, 0, 0, 1)
+	vipB := net.IPv4(20, 0, 0, 2)
+	a, _ := m.Admit(0, "tenant-a", smallLogic(), []net.IPAddr{vipA})
+	b, _ := m.Admit(0, "tenant-b", smallLogic(), []net.IPAddr{vipB})
+
+	done, err := m.Evict(sim.Second, a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= sim.Second {
+		t.Error("eviction reconfiguration took no time")
+	}
+	if m.FreeSlots() != DefaultSlotConfig().Slots-1 {
+		t.Errorf("FreeSlots after evict = %d", m.FreeSlots())
+	}
+	// Tenant B keeps running: its traffic still routes.
+	pb := &net.Packet{DstIP: vipB, SrcIP: net.IPv4(2, 2, 2, 2), Proto: net.ProtoTCP, SrcPort: 99, DstPort: 80}
+	if _, tn, err := m.Route(pb); err != nil || tn.ID != b.ID {
+		t.Errorf("tenant-b disturbed by eviction: %v", err)
+	}
+	// Evicting twice fails.
+	if _, err := m.Evict(0, a.ID); err == nil {
+		t.Error("double eviction succeeded")
+	}
+	// A new tenant reuses the freed slot with fresh queues.
+	c, err := m.Admit(done, "tenant-c", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Slot != a.Slot {
+		t.Errorf("tenant-c slot = %d, want freed slot %d", c.Slot, a.Slot)
+	}
+	if c.QueueLo < a.QueueHi {
+		t.Error("queue range recycled across tenants")
+	}
+}
+
+func TestReconfigurationTiming(t *testing.T) {
+	m, _, _ := newManager(t)
+	a, _ := m.Admit(0, "a", smallLogic(), nil)
+	if a.ReadyAt != DefaultSlotConfig().ReconfigTime {
+		t.Errorf("ReadyAt = %v, want %v", a.ReadyAt, DefaultSlotConfig().ReconfigTime)
+	}
+	if _, ok := m.Owner(a.QueueLo); !ok {
+		t.Error("Owner lookup failed")
+	}
+	if _, ok := m.Owner(9999); ok {
+		t.Error("Owner(9999) should miss")
+	}
+}

@@ -1,0 +1,172 @@
+// Package toolchain implements the automated integration flow of §4's
+// "Project implementation" stage: it loads the platform adapters,
+// checks module-environment dependencies, verifies resource fit,
+// invokes the (simulated) vendor CAD compilation, and packages the
+// bitstream and software into a consolidated project.
+package toolchain
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"harmonia/internal/adapter"
+	"harmonia/internal/hdl"
+	"harmonia/internal/platform"
+	"harmonia/internal/role"
+	"harmonia/internal/shell"
+)
+
+// Bitstream is the compiled FPGA image descriptor.
+type Bitstream struct {
+	Device   string
+	Checksum string
+	Res      hdl.Resources
+	BuildLog []string
+}
+
+// Project is the consolidated deliverable: bitstream plus the software
+// manifest deployed with it.
+type Project struct {
+	Name      string
+	Device    *platform.Device
+	Shell     *shell.Shell
+	Role      *role.Role
+	Bitstream *Bitstream
+	// SoftwareManifest lists the host-software artifacts packaged with
+	// the image.
+	SoftwareManifest []string
+}
+
+// cadToolFor names the vendor compiler the flow invokes.
+func cadToolFor(v platform.Vendor) string {
+	if v == platform.Intel {
+		return "quartus"
+	}
+	return "vivado"
+}
+
+// Integrate runs the full flow for a role on a device: unified shell
+// construction, hierarchical tailoring, adapter generation, rigid
+// dependency inspection, resource-fit verification, compilation and
+// packaging.
+func Integrate(dev *platform.Device, r *role.Role) (*Project, error) {
+	if dev == nil || r == nil {
+		return nil, fmt.Errorf("toolchain: nil device or role")
+	}
+	var log []string
+	logf := func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	}
+
+	// 1. Platform adapters.
+	devAd, err := adapter.NewDeviceAdapter(dev)
+	if err != nil {
+		return nil, err
+	}
+	venAd, err := adapter.NewVendorAdapter(dev)
+	if err != nil {
+		return nil, err
+	}
+	logf("loaded adapters for %s (%s)", dev.Name, dev.Vendor)
+
+	// 2. Unified shell and tailoring.
+	unified, err := shell.BuildUnified(dev)
+	if err != nil {
+		return nil, fmt.Errorf("toolchain: unified shell: %w", err)
+	}
+	tailored, err := unified.Tailor(r.Demands)
+	if err != nil {
+		return nil, fmt.Errorf("toolchain: tailoring for %s: %w", r.Name, err)
+	}
+	logf("tailored shell: %s", strings.Join(tailored.ComponentNames(), ", "))
+
+	// 3. Rigid dependency inspection (§3.2): every RBB instance must be
+	// compatible with the deployment environment.
+	var mods []*hdl.Module
+	for _, c := range tailored.Components {
+		if c.RBB != nil {
+			mods = append(mods, c.RBB.Instance)
+		}
+	}
+	if errs := venAd.CheckAll(mods); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("toolchain: dependency conflicts:\n%s", strings.Join(msgs, "\n"))
+	}
+	logf("dependency inspection clean (%d modules)", len(mods))
+
+	// 4. Resource fit: shell + role must fit the chip.
+	total := tailored.Resources().Add(r.Logic.Res)
+	if util := total.Utilization(dev.Chip.Capacity); util > 1 {
+		return nil, fmt.Errorf("toolchain: design needs %.0f%% of %s",
+			util*100, dev.Chip.Name)
+	}
+	logf("resource fit: %.1f%% of %s", total.Utilization(dev.Chip.Capacity)*100, dev.Chip.Name)
+
+	// 4b. Timing closure: the role's requested clock must close against
+	// every kept component and the role logic itself.
+	minFmax := tailored.MinFmaxMHz()
+	if r.ClockMHz > 0 && minFmax > 0 && r.ClockMHz > minFmax {
+		return nil, fmt.Errorf("toolchain: role clock %.0f MHz exceeds shell closure %.0f MHz",
+			r.ClockMHz, minFmax)
+	}
+	if r.Logic.FmaxMHz > 0 && r.ClockMHz > r.Logic.FmaxMHz {
+		return nil, fmt.Errorf("toolchain: role clock %.0f MHz exceeds role logic closure %.0f MHz",
+			r.ClockMHz, r.Logic.FmaxMHz)
+	}
+	if minFmax > 0 {
+		logf("timing closed: %.0f MHz requested, %.0f MHz worst-path closure", r.ClockMHz, minFmax)
+	}
+
+	// 5. Compile with the vendor CAD tool.
+	logf("invoking %s for %s", cadToolFor(dev.Vendor), dev.Chip.Name)
+	bs := &Bitstream{
+		Device:   dev.Name,
+		Res:      total,
+		BuildLog: log,
+	}
+	bs.Checksum = checksum(dev, tailored, r, devAd, venAd)
+
+	// 6. Package.
+	proj := &Project{
+		Name:      fmt.Sprintf("%s@%s", r.Name, dev.Name),
+		Device:    dev,
+		Shell:     tailored,
+		Role:      r,
+		Bitstream: bs,
+		SoftwareManifest: []string{
+			"driver/harmonia.ko",
+			"lib/libharmonia-cmd.so",
+			fmt.Sprintf("app/%s", r.Name),
+		},
+	}
+	return proj, nil
+}
+
+// checksum derives a deterministic build identity from everything that
+// shapes the image.
+func checksum(dev *platform.Device, s *shell.Shell, r *role.Role,
+	devAd *adapter.DeviceAdapter, venAd *adapter.VendorAdapter) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s\n", dev.Name, dev.Vendor, dev.Chip.Name)
+	for _, n := range s.ComponentNames() {
+		fmt.Fprintln(h, n)
+	}
+	fmt.Fprintln(h, r.Name)
+	keys := make([]string, 0, len(r.Settings))
+	for k := range r.Settings {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, r.Settings[k])
+	}
+	fmt.Fprint(h, devAd.Script())
+	fmt.Fprint(h, venAd.Script())
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

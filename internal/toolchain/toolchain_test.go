@@ -1,0 +1,163 @@
+package toolchain
+
+import (
+	"strings"
+	"testing"
+
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/platform"
+	"harmonia/internal/role"
+	"harmonia/internal/shell"
+)
+
+func bitwRole(t *testing.T) *role.Role {
+	t.Helper()
+	r, err := role.New("sec-gateway", shell.Demands{
+		Network: &shell.NetworkDemand{Gbps: 100, Filter: true},
+		Host:    &shell.HostDemand{Bulk: true, Queues: 16},
+	}, &hdl.Module{
+		Name: "secgw-logic",
+		Res:  hdl.Resources{LUT: 90_000, REG: 150_000, BRAM: 200},
+		Code: hdl.LoC{Handcraft: 15_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIntegrateProducesProject(t *testing.T) {
+	p, err := Integrate(platform.DeviceA(), bitwRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sec-gateway@device-a" {
+		t.Errorf("project name = %q", p.Name)
+	}
+	if p.Bitstream == nil || p.Bitstream.Checksum == "" {
+		t.Fatal("no bitstream produced")
+	}
+	if len(p.Bitstream.BuildLog) < 4 {
+		t.Errorf("build log too short: %v", p.Bitstream.BuildLog)
+	}
+	if !p.Shell.Tailored {
+		t.Error("shell not tailored")
+	}
+	if len(p.SoftwareManifest) == 0 {
+		t.Error("software not packaged")
+	}
+	joined := strings.Join(p.Bitstream.BuildLog, "\n")
+	if !strings.Contains(joined, "vivado") {
+		t.Errorf("device-a build should invoke vivado:\n%s", joined)
+	}
+}
+
+func TestIntegrateSameRoleAcrossDevices(t *testing.T) {
+	// The portability claim: the same role integrates unmodified on
+	// every device with suitable capabilities.
+	for _, dev := range []*platform.Device{
+		platform.DeviceA(), platform.DeviceB(), platform.DeviceC(), platform.DeviceD(),
+	} {
+		p, err := Integrate(dev, bitwRole(t))
+		if err != nil {
+			t.Errorf("Integrate on %s: %v", dev.Name, err)
+			continue
+		}
+		if p.Device.Name != dev.Name {
+			t.Errorf("project device = %s", p.Device.Name)
+		}
+	}
+}
+
+func TestIntegrateUsesQuartusForIntel(t *testing.T) {
+	p, err := Integrate(platform.DeviceD(), bitwRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(p.Bitstream.BuildLog, "\n"), "quartus") {
+		t.Error("device-d build should invoke quartus")
+	}
+}
+
+func TestIntegrateRejectsImpossibleDemands(t *testing.T) {
+	r, _ := role.New("hbm-hungry", shell.Demands{
+		Memory: []shell.MemoryDemand{{Kind: ip.HBMMem}},
+	}, &hdl.Module{Name: "logic", Res: hdl.Resources{LUT: 1}})
+	// device-c has no memory at all.
+	if _, err := Integrate(platform.DeviceC(), r); err == nil {
+		t.Error("HBM demand on device-c should fail integration")
+	}
+}
+
+func TestIntegrateRejectsOversizedRole(t *testing.T) {
+	r, _ := role.New("huge", shell.Demands{}, &hdl.Module{
+		Name: "huge-logic",
+		Res:  hdl.Resources{LUT: 5_000_000},
+	})
+	if _, err := Integrate(platform.DeviceA(), r); err == nil {
+		t.Error("oversized role should fail resource fit")
+	}
+}
+
+func TestIntegrateNilArgs(t *testing.T) {
+	if _, err := Integrate(nil, nil); err == nil {
+		t.Error("nil args should fail")
+	}
+}
+
+func TestChecksumDeterministicAndSensitive(t *testing.T) {
+	p1, err := Integrate(platform.DeviceA(), bitwRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Integrate(platform.DeviceA(), bitwRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Bitstream.Checksum != p2.Bitstream.Checksum {
+		t.Error("identical builds produced different checksums")
+	}
+	p3, err := Integrate(platform.DeviceB(), bitwRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Bitstream.Checksum == p3.Bitstream.Checksum {
+		t.Error("different devices produced identical checksums")
+	}
+}
+
+func TestTimingClosure(t *testing.T) {
+	// A role at the default 250 MHz closes; an 800 MHz request cannot.
+	fast := bitwRole(t)
+	fast.ClockMHz = 800
+	if _, err := Integrate(platform.DeviceA(), fast); err == nil {
+		t.Error("800 MHz role closed timing against a ~320 MHz shell")
+	}
+	// The role's own logic can also be the limiter.
+	slowLogic, _ := role.New("slow", shell.Demands{Host: &shell.HostDemand{}}, &hdl.Module{
+		Name: "slow-logic", Res: hdl.Resources{LUT: 1000}, FmaxMHz: 200,
+	})
+	if _, err := Integrate(platform.DeviceA(), slowLogic); err == nil {
+		t.Error("250 MHz request closed against 200 MHz role logic")
+	}
+	// Dropping the request below the logic's closure fixes it.
+	slowLogic.ClockMHz = 180
+	if _, err := Integrate(platform.DeviceA(), slowLogic); err != nil {
+		t.Errorf("180 MHz role failed: %v", err)
+	}
+	// The build log records the closure.
+	p, err := Integrate(platform.DeviceA(), bitwRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range p.Bitstream.BuildLog {
+		if strings.Contains(line, "timing closed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("build log lacks timing closure line")
+	}
+}

@@ -1,0 +1,352 @@
+package uck
+
+import (
+	"strings"
+	"testing"
+
+	"harmonia/internal/cmdif"
+	"harmonia/internal/sim"
+)
+
+// shellAInit mirrors Fig. 3d's shell A: wait for a status register,
+// then a write sequence.
+func shellAInit() []RegOp {
+	return []RegOp{
+		{Kind: OpWait, Addr: 0x10, Value: 1},
+		{Kind: OpWrite, Addr: 0x14, Value: 0x7},
+		{Kind: OpWrite, Addr: 0x18, Value: 0x1},
+	}
+}
+
+// shellBInit mirrors shell B: automation logic allows direct writes.
+func shellBInit() []RegOp {
+	return []RegOp{
+		{Kind: OpWrite, Addr: 0x20, Value: 0x1},
+	}
+}
+
+func newKernel(t *testing.T) (*Kernel, *Module) {
+	t.Helper()
+	k, err := NewKernel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModule("mac0", shellAInit())
+	if err := k.Register(1, 0, m); err != nil {
+		t.Fatal(err)
+	}
+	return k, m
+}
+
+func TestKernelValidation(t *testing.T) {
+	if _, err := NewKernel(0); err == nil {
+		t.Error("zero buffer depth should fail")
+	}
+	k, _ := newKernel(t)
+	if err := k.Register(1, 0, NewModule("dup", nil)); err == nil {
+		t.Error("duplicate registration should succeed? no — must fail")
+	}
+	if err := k.Register(2, 0, nil); err == nil {
+		t.Error("nil module should fail")
+	}
+}
+
+func TestModuleInitHidesPlatformSequence(t *testing.T) {
+	// Host sends the same module-init command regardless of the
+	// platform's register choreography.
+	for name, seq := range map[string][]RegOp{"shell-a": shellAInit(), "shell-b": shellBInit()} {
+		k, err := NewKernel(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewModule("mod", seq)
+		k.Register(1, 0, m)
+		cmd := cmdif.New(1, 0, cmdif.ModuleInit)
+		resp, done, err := k.Execute(0, cmd)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.Data[0] != StatusReady {
+			t.Errorf("%s: status after init = %d", name, resp.Data[0])
+		}
+		if m.Inits() != 1 {
+			t.Errorf("%s: inits = %d", name, m.Inits())
+		}
+		if done <= 0 {
+			t.Errorf("%s: init took no time", name)
+		}
+	}
+}
+
+func TestStatusReadWrite(t *testing.T) {
+	k, m := newKernel(t)
+	resp, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatusRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Data[0] != StatusReset {
+		t.Errorf("initial status = %d", resp.Data[0])
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatusWrite, StatusError)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status() != StatusError {
+		t.Errorf("status = %d after write", m.Status())
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatusWrite)); err == nil {
+		t.Error("status-write without value should fail")
+	}
+}
+
+func TestModuleReset(t *testing.T) {
+	k, m := newKernel(t)
+	k.Execute(0, cmdif.New(1, 0, cmdif.ModuleInit))
+	resp, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.ModuleReset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Data[0] != StatusReset || m.Resets() != 1 {
+		t.Errorf("reset: status=%d resets=%d", resp.Data[0], m.Resets())
+	}
+}
+
+func TestTableWriteRead(t *testing.T) {
+	k, m := newKernel(t)
+	_, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, 5, 9, 0xaa, 0xbb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, ok := m.Table(5, 9)
+	if !ok || len(entries) != 2 || entries[0] != 0xaa {
+		t.Errorf("table entries = %v, %v", entries, ok)
+	}
+	resp, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableRead, 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 2 || resp.Data[1] != 0xbb {
+		t.Errorf("table-read = %v", resp.Data)
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableRead, 5, 99)); err == nil {
+		t.Error("reading a missing entry should fail")
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, 5)); err == nil {
+		t.Error("short table-write should fail")
+	}
+}
+
+func TestStatsRead(t *testing.T) {
+	k, m := newKernel(t)
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatsRead)); err == nil {
+		t.Error("stats without a stats function should fail")
+	}
+	m.SetStatsFn(func() []uint32 { return []uint32{100, 200} })
+	resp, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatsRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 2 || resp.Data[1] != 200 {
+		t.Errorf("stats = %v", resp.Data)
+	}
+}
+
+func TestUnknownTargetsAndCodes(t *testing.T) {
+	k, _ := newKernel(t)
+	if _, _, err := k.Execute(0, cmdif.New(9, 9, cmdif.StatusRead)); err == nil ||
+		!strings.Contains(err.Error(), "no module") {
+		t.Errorf("unknown module error = %v", err)
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.Code(0x7777))); err == nil ||
+		!strings.Contains(err.Error(), "no handler") {
+		t.Errorf("unknown code error = %v", err)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	k, _ := newKernel(t)
+	const i2cRead cmdif.Code = 0x0100
+	err := k.Extend(i2cRead, func(m *Module, p *cmdif.Packet) ([]uint32, int, error) {
+		return []uint32{0x55}, 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := k.Execute(0, cmdif.New(1, 0, i2cRead))
+	if err != nil || resp.Data[0] != 0x55 {
+		t.Errorf("extended handler: %v, %v", resp, err)
+	}
+	if err := k.Extend(i2cRead, nil); err == nil {
+		t.Error("duplicate extend should fail")
+	}
+	if err := k.Extend(cmdif.Code(0x200), nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+}
+
+func TestBufferedExecution(t *testing.T) {
+	k, err := NewKernel(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Register(1, 0, NewModule("m", nil))
+	if err := k.Submit(cmdif.New(1, 0, cmdif.StatusRead)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Submit(cmdif.New(1, 0, cmdif.ModuleInit)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Submit(cmdif.New(1, 0, cmdif.StatusRead)); err == nil {
+		t.Error("buffer overflow not detected")
+	}
+	if k.Pending() != 2 {
+		t.Errorf("Pending = %d", k.Pending())
+	}
+	resp, _, ok, err := k.ExecuteNext(0)
+	if !ok || err != nil || resp.Code != cmdif.StatusRead {
+		t.Errorf("first = %+v, %v, %v", resp, ok, err)
+	}
+	resp, _, ok, err = k.ExecuteNext(0)
+	if !ok || err != nil || resp.Code != cmdif.ModuleInit {
+		t.Errorf("second = %+v, %v, %v", resp, ok, err)
+	}
+	if _, _, ok, _ := k.ExecuteNext(0); ok {
+		t.Error("empty buffer executed")
+	}
+	if k.Executed() != 2 {
+		t.Errorf("Executed = %d", k.Executed())
+	}
+}
+
+func TestExecutionSerializesAndCosts(t *testing.T) {
+	k, _ := newKernel(t)
+	_, d1, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatusRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := k.Execute(0, cmdif.New(1, 0, cmdif.StatusRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Error("commands did not serialize on the soft core")
+	}
+	// Microsecond-scale at most for simple commands.
+	if d1 > 10*sim.Microsecond {
+		t.Errorf("status-read took %v", d1)
+	}
+	// A big table write costs more than a status read.
+	_, d3, err := k.Execute(sim.Millisecond, cmdif.New(1, 0, cmdif.TableWrite,
+		append([]uint32{1, 1}, make([]uint32, 64)...)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3-sim.Millisecond <= d1 {
+		t.Error("table write should cost more than status read")
+	}
+}
+
+func TestFlashErase(t *testing.T) {
+	k, m := newKernel(t)
+	// Without flash, the command fails.
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.FlashErase, 0)); err == nil {
+		t.Error("flash-erase without flash should fail")
+	}
+	m.EnableFlash(16)
+	resp, done, err := k.Execute(0, cmdif.New(1, 0, cmdif.FlashErase, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Data[0] != 3 || !m.FlashErased(3) {
+		t.Errorf("sector 3 not erased: %v", resp.Data)
+	}
+	if m.FlashErased(4) {
+		t.Error("sector 4 erased unexpectedly")
+	}
+	// Erase is slow relative to a status read.
+	_, fast, _ := k.Execute(done, cmdif.New(1, 0, cmdif.StatusRead))
+	if done < (fast-done)*100 {
+		t.Errorf("flash erase (%v) should dwarf a status read (%v)", done, fast-done)
+	}
+	// Out-of-range sector and missing operand fail.
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.FlashErase, 99)); err == nil {
+		t.Error("out-of-range sector should succeed? no — must fail")
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.FlashErase)); err == nil {
+		t.Error("missing sector should fail")
+	}
+}
+
+func TestTimeCount(t *testing.T) {
+	k, _ := newKernel(t)
+	at := 3 * sim.Millisecond
+	resp, _, err := k.Execute(at, cmdif.New(1, 0, cmdif.TimeCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 2 {
+		t.Fatalf("time-count data = %v", resp.Data)
+	}
+	ns := uint64(resp.Data[0])<<32 | uint64(resp.Data[1])
+	if ns < 3_000_000 || ns > 3_100_000 {
+		t.Errorf("time-count = %d ns, want about 3ms", ns)
+	}
+}
+
+func TestSubmitStream(t *testing.T) {
+	k, m := newKernel(t)
+	b1, _ := cmdif.New(1, 0, cmdif.ModuleInit).Marshal()
+	b2, _ := cmdif.New(1, 0, cmdif.TableWrite, 2, 7, 0x11).Marshal()
+	b3, _ := cmdif.New(1, 0, cmdif.StatusRead).Marshal()
+	stream := append(append(append([]byte{}, b1...), b2...), b3...)
+	n, err := k.SubmitStream(stream)
+	if err != nil || n != 3 {
+		t.Fatalf("SubmitStream = %d, %v", n, err)
+	}
+	// Execute the buffered stream in order.
+	var now sim.Time
+	for {
+		_, done, ok, err := k.ExecuteNext(now)
+		if !ok {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	if m.Status() != StatusReady {
+		t.Error("init from stream not executed")
+	}
+	if e, ok := m.Table(2, 7); !ok || e[0] != 0x11 {
+		t.Error("table write from stream not executed")
+	}
+}
+
+func TestSubmitStreamStopsOnCorruption(t *testing.T) {
+	k, _ := newKernel(t)
+	good, _ := cmdif.New(1, 0, cmdif.StatusRead).Marshal()
+	bad := append([]byte{}, good...)
+	bad[5] ^= 0xFF
+	stream := append(append([]byte{}, good...), bad...)
+	n, err := k.SubmitStream(stream)
+	if err == nil {
+		t.Fatal("corrupted stream accepted")
+	}
+	if n != 1 || k.Pending() != 1 {
+		t.Errorf("accepted %d, pending %d; want the good prefix only", n, k.Pending())
+	}
+}
+
+func TestSubmitStreamRespectsBufferDepth(t *testing.T) {
+	k, err := NewKernel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Register(1, 0, NewModule("m", nil))
+	b, _ := cmdif.New(1, 0, cmdif.StatusRead).Marshal()
+	stream := append(append([]byte{}, b...), b...)
+	n, err := k.SubmitStream(stream)
+	if err == nil || n != 1 {
+		t.Errorf("buffer overflow not reported: n=%d err=%v", n, err)
+	}
+}

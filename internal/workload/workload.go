@@ -1,0 +1,264 @@
+// Package workload provides deterministic workload generators for the
+// benchmark harness: packet streams with controllable flow counts,
+// memory access patterns (sequential/fixed/random × read/write),
+// matrix-multiplication kernels and vector-database traces — the
+// workloads §5.1 benchmarks with.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"harmonia/internal/net"
+)
+
+// PacketSizes is the paper's packet-size sweep (Figs. 10a, 17a-c).
+var PacketSizes = []int{64, 128, 256, 512, 1024}
+
+// TCPSizes is the TCP benchmark's sweep (Fig. 18d).
+var TCPSizes = []int{64, 512, 1500}
+
+// ReadSizes is the PCIe read-size sweep (Fig. 10b).
+var ReadSizes = []int{1024, 2048, 4096, 8192, 16384}
+
+// PacketConfig shapes a generated packet stream.
+type PacketConfig struct {
+	// Count of packets.
+	Count int
+	// Size is the on-wire frame size in bytes.
+	Size int
+	// Flows spreads traffic over this many 5-tuples.
+	Flows int
+	// DstMAC is the destination address (the device under test).
+	DstMAC net.HWAddr
+	// VIPs optionally spreads destination IPs over a VIP set.
+	VIPs []net.IPAddr
+	// Seed makes the stream reproducible.
+	Seed int64
+}
+
+// Packets generates a deterministic stream.
+func Packets(cfg PacketConfig) ([]*net.Packet, error) {
+	if cfg.Count <= 0 || cfg.Size < net.MinFrame {
+		return nil, fmt.Errorf("workload: invalid packet config %+v", cfg)
+	}
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pkts := make([]*net.Packet, cfg.Count)
+	for i := range pkts {
+		flow := rng.Intn(cfg.Flows)
+		dstIP := net.IPv4(10, 1, byte(flow>>8), byte(flow))
+		if len(cfg.VIPs) > 0 {
+			dstIP = cfg.VIPs[flow%len(cfg.VIPs)]
+		}
+		pkts[i] = &net.Packet{
+			DstMAC:    cfg.DstMAC,
+			SrcMAC:    net.HWAddr{0x02, 0xcc, byte(flow >> 16), byte(flow >> 8), byte(flow), 0x01},
+			SrcIP:     net.IPv4(172, 16, byte(flow>>8), byte(flow)),
+			DstIP:     dstIP,
+			Proto:     net.ProtoTCP,
+			SrcPort:   uint16(1024 + flow%50000),
+			DstPort:   443,
+			Seq:       uint32(i),
+			WireBytes: cfg.Size,
+		}
+	}
+	return pkts, nil
+}
+
+// AccessMode selects the memory access pattern (Figs. 10c, 18c).
+type AccessMode string
+
+// Access patterns.
+const (
+	Sequential AccessMode = "sequential"
+	Fixed      AccessMode = "fixed"
+	Random     AccessMode = "random"
+)
+
+// AccessGen yields a deterministic address trace.
+type AccessGen struct {
+	mode   AccessMode
+	stride int64
+	limit  int64
+	rng    *rand.Rand
+	next   int64
+}
+
+// NewAccessGen returns a generator of addresses in [0, limit) with the
+// given element stride.
+func NewAccessGen(mode AccessMode, stride, limit int64, seed int64) (*AccessGen, error) {
+	if stride <= 0 || limit <= stride {
+		return nil, fmt.Errorf("workload: invalid access range stride=%d limit=%d", stride, limit)
+	}
+	switch mode {
+	case Sequential, Fixed, Random:
+	default:
+		return nil, fmt.Errorf("workload: unknown access mode %q", mode)
+	}
+	return &AccessGen{
+		mode:   mode,
+		stride: stride,
+		limit:  limit - limit%stride,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next returns the next address.
+func (g *AccessGen) Next() int64 {
+	switch g.mode {
+	case Fixed:
+		return 0
+	case Random:
+		return g.rng.Int63n(g.limit/g.stride) * g.stride
+	default: // Sequential
+		addr := g.next
+		g.next += g.stride
+		if g.next >= g.limit {
+			g.next = 0
+		}
+		return addr
+	}
+}
+
+// Matrix is a dense square float32 matrix in row-major order.
+type Matrix struct {
+	N    int
+	Data []float32
+}
+
+// NewMatrix returns a deterministic pseudo-random N×N matrix.
+func NewMatrix(n int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Matrix{N: n, Data: make([]float32, n*n)}
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.N+j] }
+
+// Mul computes m × o (the reference result the FPGA kernels check
+// against).
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.N != o.N {
+		return nil, fmt.Errorf("workload: size mismatch %d vs %d", m.N, o.N)
+	}
+	n := m.N
+	out := &Matrix{N: n, Data: make([]float32, n*n)}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.Data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			row := o.Data[k*n:]
+			dst := out.Data[i*n:]
+			for j := 0; j < n; j++ {
+				dst[j] += a * row[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatMulWork is the Fig. 18b workload: 64×64 single-precision matrices
+// across 1024 iterations.
+type MatMulWork struct {
+	N          int
+	Iterations int
+}
+
+// DefaultMatMul returns the paper's configuration.
+func DefaultMatMul() MatMulWork { return MatMulWork{N: 64, Iterations: 1024} }
+
+// FLOPs reports the floating-point operations per full run.
+func (w MatMulWork) FLOPs() int64 {
+	return int64(w.Iterations) * 2 * int64(w.N) * int64(w.N) * int64(w.N)
+}
+
+// Vector is a 32-bit element vector record for the database benchmark.
+type Vector struct {
+	ID    uint32
+	Elems []uint32
+}
+
+// Bytes serializes the vector's elements.
+func (v Vector) Bytes() []byte {
+	out := make([]byte, 4*len(v.Elems))
+	for i, e := range v.Elems {
+		binary.LittleEndian.PutUint32(out[i*4:], e)
+	}
+	return out
+}
+
+// VectorBytes is the record size used by the database benchmark: one
+// 32-bit element per vector slot times the configured width.
+func VectorBytes(width int) int { return 4 * width }
+
+// Vectors generates a deterministic vector set.
+func Vectors(count, width int, seed int64) []Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Vector, count)
+	for i := range out {
+		elems := make([]uint32, width)
+		for j := range elems {
+			elems[j] = rng.Uint32()
+		}
+		out[i] = Vector{ID: uint32(i), Elems: elems}
+	}
+	return out
+}
+
+// Embedding is a float32 embedding row for the retrieval benchmark.
+type Embedding struct {
+	ID  uint32
+	Vec []float32
+}
+
+// Embeddings generates a deterministic corpus of dim-dimensional rows.
+func Embeddings(count, dim int, seed int64) []Embedding {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Embedding, count)
+	for i := range out {
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = rng.Float32()*2 - 1
+		}
+		out[i] = Embedding{ID: uint32(i), Vec: v}
+	}
+	return out
+}
+
+// Dot computes the similarity score between two embeddings.
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// ZipfFlows draws per-packet flow indices from a Zipf distribution over
+// the flow space — production traffic mixes are heavy-hitter dominated,
+// which exercises connection-table hit rates realistically.
+func ZipfFlows(count, flows int, skew float64, seed int64) ([]int, error) {
+	if count <= 0 || flows <= 0 {
+		return nil, fmt.Errorf("workload: invalid zipf config count=%d flows=%d", count, flows)
+	}
+	if skew <= 1 {
+		return nil, fmt.Errorf("workload: zipf skew %v must exceed 1", skew)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, skew, 1, uint64(flows-1))
+	out := make([]int, count)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"harmonia/internal/net"
+)
+
+func TestPacketsDeterministic(t *testing.T) {
+	cfg := PacketConfig{Count: 100, Size: 256, Flows: 8, Seed: 7}
+	a, err := Packets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Packets(cfg)
+	for i := range a {
+		if a[i].Flow() != b[i].Flow() || a[i].WireBytes != b[i].WireBytes || a[i].Seq != b[i].Seq {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+	if len(a) != 100 || a[0].WireBytes != 256 {
+		t.Errorf("stream shape wrong")
+	}
+}
+
+func TestPacketsFlowSpread(t *testing.T) {
+	pkts, _ := Packets(PacketConfig{Count: 1000, Size: 128, Flows: 16, Seed: 1})
+	flows := map[net.FlowKey]bool{}
+	for _, p := range pkts {
+		flows[p.Flow()] = true
+	}
+	if len(flows) < 12 || len(flows) > 16 {
+		t.Errorf("distinct flows = %d, want about 16", len(flows))
+	}
+}
+
+func TestPacketsVIPs(t *testing.T) {
+	vips := []net.IPAddr{net.IPv4(20, 0, 0, 1), net.IPv4(20, 0, 0, 2)}
+	pkts, _ := Packets(PacketConfig{Count: 50, Size: 128, Flows: 10, VIPs: vips, Seed: 2})
+	for _, p := range pkts {
+		if p.DstIP != vips[0] && p.DstIP != vips[1] {
+			t.Fatalf("packet to unexpected IP %v", p.DstIP)
+		}
+	}
+}
+
+func TestPacketsValidation(t *testing.T) {
+	if _, err := Packets(PacketConfig{Count: 0, Size: 128}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Packets(PacketConfig{Count: 1, Size: 32}); err == nil {
+		t.Error("sub-minimum frame accepted")
+	}
+}
+
+func TestAccessGenModes(t *testing.T) {
+	seq, err := NewAccessGen(Sequential, 64, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := seq.Next(), seq.Next(); a != 0 || b != 64 {
+		t.Errorf("sequential = %d, %d", a, b)
+	}
+	// Wraps at limit.
+	for i := 0; i < 20; i++ {
+		if a := seq.Next(); a >= 1024 {
+			t.Fatalf("address %d beyond limit", a)
+		}
+	}
+	fixed, _ := NewAccessGen(Fixed, 64, 1024, 1)
+	if fixed.Next() != 0 || fixed.Next() != 0 {
+		t.Error("fixed mode should repeat address 0")
+	}
+	rnd, _ := NewAccessGen(Random, 64, 1<<20, 3)
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		a := rnd.Next()
+		if a%64 != 0 || a < 0 || a >= 1<<20 {
+			t.Fatalf("random address %d invalid", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 50 {
+		t.Error("random addresses not spread")
+	}
+	if _, err := NewAccessGen("weird", 64, 1024, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := NewAccessGen(Sequential, 0, 1024, 1); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestMatrixMulCorrectness(t *testing.T) {
+	// 2x2 hand check.
+	a := &Matrix{N: 2, Data: []float32{1, 2, 3, 4}}
+	b := &Matrix{N: 2, Data: []float32{5, 6, 7, 8}}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+	if _, err := a.Mul(&Matrix{N: 3, Data: make([]float32, 9)}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestMatrixIdentity(t *testing.T) {
+	n := 16
+	a := NewMatrix(n, 5)
+	id := &Matrix{N: n, Data: make([]float32, n*n)}
+	for i := 0; i < n; i++ {
+		id.Data[i*n+i] = 1
+	}
+	c, _ := a.Mul(id)
+	for i := range c.Data {
+		if math.Abs(float64(c.Data[i]-a.Data[i])) > 1e-6 {
+			t.Fatalf("A*I != A at %d", i)
+		}
+	}
+	if a.At(3, 4) != a.Data[3*n+4] {
+		t.Error("At indexing wrong")
+	}
+}
+
+func TestMatMulWork(t *testing.T) {
+	w := DefaultMatMul()
+	if w.N != 64 || w.Iterations != 1024 {
+		t.Errorf("default = %+v", w)
+	}
+	// 2*N^3 per iteration.
+	if w.FLOPs() != int64(1024)*2*64*64*64 {
+		t.Errorf("FLOPs = %d", w.FLOPs())
+	}
+}
+
+func TestVectors(t *testing.T) {
+	vs := Vectors(10, 8, 3)
+	if len(vs) != 10 || len(vs[0].Elems) != 8 {
+		t.Fatalf("vector shape wrong")
+	}
+	if vs[3].ID != 3 {
+		t.Error("IDs not sequential")
+	}
+	b := vs[0].Bytes()
+	if len(b) != 32 || VectorBytes(8) != 32 {
+		t.Errorf("Bytes len = %d", len(b))
+	}
+	vs2 := Vectors(10, 8, 3)
+	if vs2[5].Elems[2] != vs[5].Elems[2] {
+		t.Error("not deterministic")
+	}
+}
+
+func TestEmbeddingsAndDot(t *testing.T) {
+	es := Embeddings(5, 16, 9)
+	if len(es) != 5 || len(es[0].Vec) != 16 {
+		t.Fatal("embedding shape wrong")
+	}
+	if Dot([]float32{1, 2, 3}, []float32{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	// Self-similarity is positive.
+	if Dot(es[0].Vec, es[0].Vec) <= 0 {
+		t.Error("self dot should be positive")
+	}
+}
+
+func TestZipfFlowsHeavyHitters(t *testing.T) {
+	flows, err := ZipfFlows(10_000, 1000, 1.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, f := range flows {
+		if f < 0 || f >= 1000 {
+			t.Fatalf("flow %d out of range", f)
+		}
+		counts[f]++
+	}
+	// Flow 0 must dominate: heavy-hitter shape.
+	if counts[0] < len(flows)/4 {
+		t.Errorf("top flow has %d of %d packets, want heavy-hitter dominance", counts[0], len(flows))
+	}
+	if len(counts) < 50 {
+		t.Errorf("only %d distinct flows, want a long tail", len(counts))
+	}
+	// Deterministic.
+	again, _ := ZipfFlows(10_000, 1000, 1.3, 7)
+	for i := range flows {
+		if flows[i] != again[i] {
+			t.Fatal("zipf stream not deterministic")
+		}
+	}
+	if _, err := ZipfFlows(0, 10, 1.3, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := ZipfFlows(10, 10, 0.5, 1); err == nil {
+		t.Error("skew <= 1 accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package harmonia
+
+import (
+	"fmt"
+
+	"harmonia/internal/sim"
+	"harmonia/internal/uck"
+)
+
+// SelfTestResult is one check of the integration test stage.
+type SelfTestResult struct {
+	Check  string
+	Pass   bool
+	Detail string
+}
+
+// SelfTest performs the §4 Stage-3 integration test against the running
+// instance's control plane: every module initializes, resets and
+// re-initializes through commands; tables round-trip on the shell RBBs;
+// telemetry and flash respond; and the command path's measured latency
+// stays sane. It returns per-check results and whether all passed.
+func (d *Deployment) SelfTest() ([]SelfTestResult, bool) {
+	dev := d.Device()
+	var results []SelfTestResult
+	add := func(check string, pass bool, detail string) {
+		results = append(results, SelfTestResult{Check: check, Pass: pass, Detail: detail})
+	}
+
+	// 1. Every module comes up, goes down, and comes back.
+	lifecyclePass := true
+	detail := ""
+	for _, m := range dev.Modules() {
+		if err := dev.Init(m.RBBID, m.InstanceID); err != nil {
+			lifecyclePass, detail = false, fmt.Sprintf("%s init: %v", m.Name, err)
+			break
+		}
+		if err := dev.Reset(m.RBBID, m.InstanceID); err != nil {
+			lifecyclePass, detail = false, fmt.Sprintf("%s reset: %v", m.Name, err)
+			break
+		}
+		if s, err := dev.Status(m.RBBID, m.InstanceID); err != nil || s != uck.StatusReset {
+			lifecyclePass, detail = false, fmt.Sprintf("%s status after reset: %d, %v", m.Name, s, err)
+			break
+		}
+		if err := dev.Init(m.RBBID, m.InstanceID); err != nil {
+			lifecyclePass, detail = false, fmt.Sprintf("%s re-init: %v", m.Name, err)
+			break
+		}
+	}
+	if lifecyclePass {
+		detail = fmt.Sprintf("%d modules cycled", len(dev.Modules()))
+	}
+	add("module-lifecycle", lifecyclePass, detail)
+
+	// 2. Table round-trips on every RBB-class module.
+	tablePass, tableDetail := true, ""
+	tested := 0
+	for _, m := range dev.Modules() {
+		if m.RBBID == RBBUCK || m.RBBID == RBBRole {
+			continue
+		}
+		if err := dev.WriteTable(m.RBBID, m.InstanceID, 7, 1, 0x5A5A, uint32(m.RBBID)); err != nil {
+			tablePass, tableDetail = false, fmt.Sprintf("%s write: %v", m.Name, err)
+			break
+		}
+		entry, err := dev.ReadTable(m.RBBID, m.InstanceID, 7, 1)
+		if err != nil || len(entry) != 2 || entry[0] != 0x5A5A || entry[1] != uint32(m.RBBID) {
+			tablePass, tableDetail = false, fmt.Sprintf("%s readback: %v, %v", m.Name, entry, err)
+			break
+		}
+		tested++
+	}
+	if tablePass {
+		tableDetail = fmt.Sprintf("%d modules verified", tested)
+	}
+	add("table-roundtrip", tablePass, tableDetail)
+
+	// 3. Telemetry responds with plausible values.
+	temp, vccint, power, err := dev.Sensors()
+	sensorsPass := err == nil && temp > 20_000 && temp < 110_000 && vccint > 0 && power > 0
+	add("telemetry", sensorsPass, fmt.Sprintf("temp=%dmC vccint=%dmV power=%dmW err=%v",
+		temp, vccint, power, err))
+
+	// 4. Flash erase works on a scratch sector.
+	ferr := dev.EraseFlash(63)
+	add("flash-erase", ferr == nil, fmt.Sprintf("sector 63: %v", ferr))
+
+	// 5. Command-path latency: one status read stays under 10us of
+	// simulated time (isolation from data path + soft-core budget).
+	before := dev.Uptime()
+	_, serr := dev.Status(RBBMgmt, 0)
+	lat := dev.Uptime() - before
+	latPass := serr == nil && lat > 0 && lat < 10*sim.Microsecond
+	add("command-latency", latPass, fmt.Sprintf("status read in %v", lat))
+
+	all := true
+	for _, r := range results {
+		if !r.Pass {
+			all = false
+		}
+	}
+	return results, all
+}
