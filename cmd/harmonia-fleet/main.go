@@ -1,0 +1,101 @@
+// Command harmonia-fleet drives the multi-device control plane: it
+// commissions a heterogeneous fleet of catalog devices, places service
+// replicas into their PR slots, and runs the two operator drills —
+// the scale-out sweep (aggregate throughput vs device count) and the
+// kill-a-device drill (health-driven failover with measured recovery
+// time).
+//
+// Usage:
+//
+//	harmonia-fleet -scenario scale -devices 4
+//	harmonia-fleet -scenario drill -devices 3 -app layer4-lb
+//	harmonia-fleet -scenario drill -gbps 60 -seed 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"harmonia/internal/fleet"
+)
+
+func main() {
+	scenario := flag.String("scenario", "scale", "scale | drill")
+	app := flag.String("app", "layer4-lb", "application to replicate across the fleet")
+	devices := flag.Int("devices", 4, "fleet size (sweep upper bound for scale)")
+	gbps := flag.Float64("gbps", 40, "offered load per device (Gbps)")
+	seed := flag.Int64("seed", 7, "workload and router seed")
+	flag.Parse()
+
+	if err := run(os.Stdout, *scenario, *app, *devices, *gbps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "harmonia-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, scenario, app string, devices int, gbps float64, seed int64) error {
+	traffic := fleet.DefaultTraffic(app)
+	traffic.OfferedGbps = gbps
+	traffic.Seed = seed
+	cfg := fleet.DefaultConfig()
+	cfg.Seed = seed
+
+	switch scenario {
+	case "scale":
+		return runScale(w, cfg, app, devices, traffic)
+	case "drill":
+		return runDrill(w, cfg, app, devices, traffic)
+	default:
+		return fmt.Errorf("unknown scenario %q (want scale or drill)", scenario)
+	}
+}
+
+// runScale sweeps the fleet 1..n devices and prints the aggregate
+// throughput series.
+func runScale(w io.Writer, cfg fleet.Config, app string, n int, t fleet.Traffic) error {
+	fmt.Fprintf(w, "scale-out sweep: %s, 1..%d devices, %.0f Gbps offered per device\n\n",
+		app, n, t.OfferedGbps)
+	pts, err := fleet.ScaleOut(cfg, app, n, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %-9s %-14s %-12s %-10s %-10s\n",
+		"devices", "replicas", "goodput-gbps", "qps", "p50", "p99")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %-9d %-14.1f %-12.0f %-10v %-10v\n",
+			p.Devices, p.Replicas, p.GoodputGbps, p.QPS, p.P50, p.P99)
+	}
+	return nil
+}
+
+// runDrill kills a device mid-run and prints the failover timeline.
+func runDrill(w io.Writer, cfg fleet.Config, app string, n int, t fleet.Traffic) error {
+	fmt.Fprintf(w, "kill-a-device drill: %s on %d devices, %.0f Gbps offered\n\n",
+		app, n, t.OfferedGbps)
+	d, err := fleet.KillDrill(cfg, app, n, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "pre-fault:  %.1f Gbps, %.0f qps, p99 %v\n",
+		d.Pre.GoodputGbps, d.Pre.QPS, d.Pre.P99)
+	fmt.Fprintf(w, "killed:     %s at %v (silent: wire corrupted, heartbeats stop)\n",
+		d.Killed, d.FaultAt)
+	fmt.Fprintf(w, "detected:   %v (+%v, %d missed heartbeats at %v cadence)\n",
+		d.DetectedAt, d.DetectedAt-d.FaultAt, cfg.FailedAfter, cfg.Heartbeat)
+	fmt.Fprintf(w, "recovered:  %v — %d/%d tenants re-placed on survivors\n",
+		d.RecoveredAt, d.Replaced, d.Moved)
+	fmt.Fprintf(w, "recovery:   %v fault-to-full-replacement\n", d.RecoveryTime)
+	if d.Unplaced > 0 {
+		fmt.Fprintf(w, "UNPLACED:   %d tenants found no capacity\n", d.Unplaced)
+	}
+	fmt.Fprintf(w, "post-fault: %.1f Gbps, %.0f qps, p99 %v (%d survivors)\n\n",
+		d.Post.GoodputGbps, d.Post.QPS, d.Post.P99, n-1)
+
+	fmt.Fprintln(w, "state transitions:")
+	for _, tr := range d.Transitions {
+		fmt.Fprintf(w, "  %v\n", tr)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "scale", "layer4-lb", 2, 40, 7); err != nil {
+		t.Fatalf("scale scenario: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "goodput-gbps") {
+		t.Errorf("missing sweep header:\n%s", s)
+	}
+	if got := strings.Count(s, "\n"); got < 4 {
+		t.Errorf("sweep printed %d lines, want rows for 1 and 2 devices:\n%s", got, s)
+	}
+}
+
+func TestRunDrill(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "drill", "layer4-lb", 3, 40, 7); err != nil {
+		t.Fatalf("drill scenario: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"killed:", "detected:", "recovery:", "state transitions:", "-> drained"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("drill output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "bogus", "layer4-lb", 2, 40, 7); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run(&out, "drill", "layer4-lb", 1, 40, 7); err == nil {
+		t.Error("1-device drill accepted (needs survivors)")
+	}
+	if err := run(&out, "scale", "ghost-app", 2, 40, 7); err == nil {
+		t.Error("unknown app accepted")
+	}
+}

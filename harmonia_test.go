@@ -350,6 +350,57 @@ func TestThermalWatchdog(t *testing.T) {
 	}
 }
 
+func TestThermalWatchdogInjectedOvertemp(t *testing.T) {
+	// An injected over-temperature reading (a cooling failure, not a
+	// lowered threshold) must trip the watchdog during a routine health
+	// check and reach the registered host handler over the irq path.
+	fw := New()
+	dep, err := fw.Deploy("device-a", testRole(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := dep.Device()
+	var handled []Event
+	dev.OnInterrupt(func(e Event) { handled = append(handled, e) })
+
+	const limit = 95_000 // 95 C, production throttling threshold
+	dev.SetThermalThreshold(limit)
+	if _, err := dev.CheckHealth(); err != nil {
+		t.Fatal(err)
+	}
+	if len(handled) != 0 {
+		t.Fatalf("nominal board fired %d events", len(handled))
+	}
+
+	dev.SetThermalOffset(60_000) // hot spot: ~105 C die
+	temp, err := dev.CheckHealth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp < limit {
+		t.Fatalf("injected reading %d milli-degC below threshold %d", temp, limit)
+	}
+	if len(handled) != 1 {
+		t.Fatalf("handler saw %d events, want 1 thermal alarm", len(handled))
+	}
+	ev := handled[0]
+	if ev.Code != EventThermalAlarm || ev.Module != "management" {
+		t.Errorf("event = %+v, want management thermal alarm", ev)
+	}
+	if ev.Data != temp {
+		t.Errorf("alarm carries %d milli-degC, want the sampled %d", ev.Data, temp)
+	}
+
+	// Clearing the fault stops further alarms.
+	dev.SetThermalOffset(0)
+	if _, err := dev.CheckHealth(); err != nil {
+		t.Fatal(err)
+	}
+	if len(handled) != 1 {
+		t.Error("nominal reading after fault clear still alarmed")
+	}
+}
+
 func TestSelfTestPassesOnEveryDevice(t *testing.T) {
 	fw := New()
 	for _, devName := range fw.Devices() {

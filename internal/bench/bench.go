@@ -46,6 +46,8 @@ func All() []Experiment {
 		{ID: "fig18b", Title: "Matrix multiplication performance", Run: wrapFig(Fig18b)},
 		{ID: "fig18c", Title: "Database access performance", Run: wrapTab(Fig18c)},
 		{ID: "fig18d", Title: "TCP transmission performance", Run: wrapFig(Fig18d)},
+		{ID: "fleet1", Title: "Fleet scale-out aggregate throughput", Run: wrapFig(FleetScaleOut)},
+		{ID: "fleet2", Title: "Fleet failover recovery time", Run: wrapFig(FleetRecovery)},
 		{ID: "table3", Title: "FPGA devices supported per framework", Run: wrapTab(Table3)},
 		{ID: "table4", Title: "Register vs command configuration items", Run: wrapTab(Table4)},
 	}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"harmonia/internal/fleet"
+	"harmonia/internal/metrics"
+	"harmonia/internal/sim"
+)
+
+// Fleet experiments exercise the multi-device control plane beyond the
+// paper's single-device evaluation: the scale-out throughput series and
+// the failover recovery-time series, both over the heterogeneous
+// catalog fleet (§2.3's cloud deployment setting).
+
+// fleetSweepMax bounds the device-count sweep.
+const fleetSweepMax = 4
+
+// FleetScaleOut measures aggregate cluster goodput and QPS as the fleet
+// grows from 1 to 4 devices with offered load proportional to fleet
+// size. Aggregate throughput growing with device count is the property
+// the control plane must preserve.
+func FleetScaleOut() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fleet1", Title: "Fleet scale-out aggregate throughput"}
+	goodput := &metrics.Series{Label: "goodput-gbps", XLabel: "devices", YLabel: "Gbps"}
+	offered := &metrics.Series{Label: "offered-gbps"}
+	qps := &metrics.Series{Label: "mqps"}
+	t := fleet.DefaultTraffic("layer4-lb")
+	pts, err := fleet.ScaleOut(fleet.DefaultConfig(), "layer4-lb", fleetSweepMax, t)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		x := float64(p.Devices)
+		goodput.Add(x, p.GoodputGbps)
+		offered.Add(x, t.OfferedGbps*x)
+		qps.Add(x, p.QPS/1e6)
+	}
+	fig.Series = append(fig.Series, goodput, offered, qps)
+	return fig, nil
+}
+
+// FleetRecovery measures the kill-a-device drill across fleet sizes:
+// detection latency (missed-heartbeat budget) and fault-to-full-
+// re-placement recovery time, which the PR reconfiguration dominates.
+func FleetRecovery() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fleet2", Title: "Fleet failover recovery time"}
+	detect := &metrics.Series{Label: "detect-us", XLabel: "devices", YLabel: "microseconds"}
+	recover := &metrics.Series{Label: "recovery-us"}
+	retained := &metrics.Series{Label: "post-goodput-frac"}
+	for n := 2; n <= fleetSweepMax; n++ {
+		d, err := fleet.KillDrill(fleet.DefaultConfig(), "layer4-lb", n, fleet.DefaultTraffic("layer4-lb"))
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		detect.Add(x, float64(d.DetectedAt-d.FaultAt)/float64(sim.Microsecond))
+		recover.Add(x, float64(d.RecoveryTime)/float64(sim.Microsecond))
+		retained.Add(x, d.Post.GoodputGbps/d.Pre.GoodputGbps)
+	}
+	fig.Series = append(fig.Series, detect, recover, retained)
+	return fig, nil
+}

@@ -1,0 +1,550 @@
+// Package fleet is the cluster control plane over a pool of simulated
+// Harmonia devices: the multi-device layer the paper's cloud setting
+// implies (§2.3, Fig. 3c) but a single-device twin cannot exercise.
+//
+// A Cluster commissions heterogeneous catalog devices by running the
+// real toolchain pipeline (unified shell, tailoring, dependency
+// inspection, compile, boot) per device, places service replicas into
+// tenancy partial-reconfiguration slots using the structural resource
+// model, heartbeats every device over the command path, consumes irq
+// thermal-alarm/link-down events, and routes live workload across the
+// replicas with per-device queue-depth awareness. Devices move through
+// the state machine healthy → degraded → failed → drained; losing a
+// device evicts its tenants, re-places them on survivors and re-routes
+// traffic, with the recovery time measured in simulated time.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/device"
+	"harmonia/internal/hdl"
+	"harmonia/internal/ip"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/rbb"
+	"harmonia/internal/role"
+	"harmonia/internal/shell"
+	"harmonia/internal/sim"
+	"harmonia/internal/tenancy"
+	"harmonia/internal/toolchain"
+)
+
+// State is a device's position in the fleet health state machine.
+type State string
+
+// Device states. Healthy devices take new placements and traffic;
+// degraded devices keep serving but are deprioritized by the router and
+// excluded from new placements; failed devices are dead to the command
+// path; drained devices have been fully evacuated.
+const (
+	Healthy  State = "healthy"
+	Degraded State = "degraded"
+	Failed   State = "failed"
+	Drained  State = "drained"
+)
+
+// Config shapes the control plane.
+type Config struct {
+	// Heartbeat is the health monitor's sampling interval.
+	Heartbeat sim.Time
+	// FailedAfter is how many consecutive missed heartbeats declare a
+	// device failed.
+	FailedAfter int
+	// DegradeMilliC is the die temperature (milli-degC) at which a
+	// device is degraded; it also arms each device's thermal watchdog.
+	DegradeMilliC uint32
+	// SlotRes is the per-slot resource budget of the role region's
+	// partial-reconfiguration layout (URAM is folded into BRAM on chips
+	// without UltraRAM).
+	SlotRes hdl.Resources
+	// MaxSlots caps slots per device; the structural headroom of the
+	// chip may support fewer.
+	MaxSlots int
+	// QueuesPerTenant is each tenant's host-queue allocation.
+	QueuesPerTenant int
+	// ReconfigTime is the partial-bitstream load time per slot — the
+	// dominant term of failover recovery.
+	ReconfigTime sim.Time
+	// Seed drives the router's randomized two-choice sampling.
+	Seed int64
+}
+
+// DefaultConfig returns production-shaped control plane settings.
+func DefaultConfig() Config {
+	return Config{
+		Heartbeat:       50 * sim.Microsecond,
+		FailedAfter:     3,
+		DegradeMilliC:   95_000,
+		SlotRes:         hdl.Resources{LUT: 160_000, REG: 240_000, BRAM: 420, URAM: 64, DSP: 1_024},
+		MaxSlots:        4,
+		QueuesPerTenant: 64,
+		ReconfigTime:    2 * sim.Millisecond,
+		Seed:            1,
+	}
+}
+
+// Service is a replicated workload the fleet hosts.
+type Service struct {
+	Name string
+	// Demands is the role's shell requirement (adapted per device at
+	// commission time: HBM falls back to DDR4 on HBM-less cards).
+	Demands shell.Demands
+	// Logic is one replica's resource footprint; it must fit a slot.
+	Logic hdl.Resources
+	// Replicas is the target replica count.
+	Replicas int
+	// MinPCIeGen excludes devices below this host-link generation
+	// (0 = any).
+	MinPCIeGen int
+	// VIPBase is the first replica's virtual IP; replica i serves
+	// VIPBase+i.
+	VIPBase net.IPAddr
+}
+
+// AppService derives a fleet service from an application catalog entry.
+func AppService(info apps.Info, replicas int, vipBase net.IPAddr) Service {
+	return Service{
+		Name:     info.Name,
+		Demands:  info.Demands,
+		Logic:    info.RoleRes,
+		Replicas: replicas,
+		VIPBase:  vipBase,
+	}
+}
+
+// Replica is one placed instance of a service.
+type Replica struct {
+	Service string
+	Index   int
+	VIP     net.IPAddr
+	// Node is the hosting device ("" while unplaced).
+	Node string
+	// Tenant is the tenancy ID on the hosting device.
+	Tenant int
+	// ReadyAt is when the replica's slot reconfiguration completes.
+	ReadyAt sim.Time
+}
+
+// Name identifies the replica, e.g. "layer4-lb/2".
+func (r *Replica) Name() string { return fmt.Sprintf("%s/%d", r.Service, r.Index) }
+
+// Node is one commissioned device under fleet control.
+type Node struct {
+	ID       string
+	Platform *platform.Device
+	// Project is the consolidated build deployed on the device.
+	Project *toolchain.Project
+	// Inst is the booted instance the health monitor commands.
+	Inst *device.Device
+	// Net and Host are the functional datapath RBBs traffic crosses.
+	Net  *rbb.NetworkRBB
+	Host *rbb.HostRBB
+	// Tenants multiplexes replicas over the role region's PR slots
+	// (nil when the chip has no headroom for any slot).
+	Tenants *tenancy.Manager
+
+	// slotRes is the per-slot budget after URAM folding for this chip.
+	slotRes hdl.Resources
+	slots   int
+	state   State
+	missed  int
+	// lastTemp is the most recent heartbeat temperature (milli-degC).
+	lastTemp uint32
+	killed   bool
+	// busyUntil is the datapath backlog horizon used for queue-depth
+	// aware routing.
+	busyUntil sim.Time
+	replicas  map[string]*Replica
+}
+
+// State reports the node's health state.
+func (n *Node) State() State { return n.state }
+
+// Slots reports how many PR slots the chip's headroom supports.
+func (n *Node) Slots() int { return n.slots }
+
+// LastTemp reports the most recent heartbeat temperature (milli-degC).
+func (n *Node) LastTemp() uint32 { return n.lastTemp }
+
+// QueueDepth reports the node's outstanding datapath backlog at now —
+// the per-device congestion signal the router balances on.
+func (n *Node) QueueDepth(now sim.Time) sim.Time {
+	if n.busyUntil <= now {
+		return 0
+	}
+	return n.busyUntil - now
+}
+
+// Replicas lists the replicas currently placed on the node, sorted by
+// name for stable output.
+func (n *Node) Replicas() []*Replica {
+	out := make([]*Replica, 0, len(n.replicas))
+	for _, r := range n.replicas {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Cluster is the fleet control plane.
+type Cluster struct {
+	cfg      Config
+	services map[string]*Service
+	svcOrder []string
+	nodes    []*Node
+	byID     map[string]*Node
+	replicas []*Replica
+
+	now           sim.Time
+	nextHeartbeat sim.Time
+	transitions   []Transition
+	failovers     []FailoverReport
+	router        *router
+}
+
+// NewCluster returns an empty control plane.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Heartbeat <= 0 || cfg.FailedAfter <= 0 || cfg.MaxSlots <= 0 ||
+		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 {
+		return nil, fmt.Errorf("fleet: invalid config %+v", cfg)
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		services: make(map[string]*Service),
+		byID:     make(map[string]*Node),
+	}
+	c.router = newRouter(c, cfg.Seed)
+	return c, nil
+}
+
+// Config returns the control plane settings.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Now reports the cluster's current simulated time.
+func (c *Cluster) Now() sim.Time { return c.now }
+
+// advance moves cluster time monotonically forward.
+func (c *Cluster) advance(now sim.Time) {
+	if now > c.now {
+		c.now = now
+	}
+}
+
+// AddService registers a service before placement. Devices already
+// commissioned keep their shells; register services first so merged
+// demands shape every deployment.
+func (c *Cluster) AddService(s Service) error {
+	if s.Name == "" || s.Replicas <= 0 {
+		return fmt.Errorf("fleet: invalid service %+v", s)
+	}
+	if _, dup := c.services[s.Name]; dup {
+		return fmt.Errorf("fleet: service %q already registered", s.Name)
+	}
+	svc := s
+	c.services[s.Name] = &svc
+	c.svcOrder = append(c.svcOrder, s.Name)
+	return nil
+}
+
+// Services lists registered service names in registration order.
+func (c *Cluster) Services() []string {
+	return append([]string(nil), c.svcOrder...)
+}
+
+// foldURAM rewrites a footprint for chips without UltraRAM: each URAM
+// block (288Kb) becomes eight BRAM36 blocks.
+func foldURAM(r hdl.Resources, hasURAM bool) hdl.Resources {
+	if hasURAM || r.URAM == 0 {
+		return r
+	}
+	r.BRAM += 8 * r.URAM
+	r.URAM = 0
+	return r
+}
+
+// adaptDemands tailors merged service demands to one device's
+// peripheral set: HBM demands fall back to DDR4 where no stack exists;
+// missing peripherals with no substitute reject the device.
+func adaptDemands(dev *platform.Device, d shell.Demands) (shell.Demands, error) {
+	out := shell.Demands{}
+	if d.Network != nil {
+		cage, ok := dev.Peripheral(platform.Network, "")
+		if !ok {
+			return out, fmt.Errorf("fleet: %s has no network cage", dev.Name)
+		}
+		if d.Network.Gbps > cage.GbpsPerUnit {
+			return out, fmt.Errorf("fleet: %s cages provide %v Gbps, demand is %v",
+				dev.Name, cage.GbpsPerUnit, d.Network.Gbps)
+		}
+		nd := *d.Network
+		out.Network = &nd
+	}
+	seen := map[ip.MemKind]bool{}
+	for _, md := range d.Memory {
+		kind := md.Kind
+		switch {
+		case kind == ip.HBMMem && dev.HasPeripheral("HBM"):
+		case kind == ip.HBMMem && dev.HasPeripheral("DDR4"):
+			kind = ip.DDR4Mem // fall back: same behaviour, lower bandwidth
+		case kind == ip.DDR4Mem && dev.HasPeripheral("DDR4"):
+		default:
+			return out, fmt.Errorf("fleet: %s cannot satisfy %s memory demand", dev.Name, md.Kind)
+		}
+		if !seen[kind] {
+			seen[kind] = true
+			out.Memory = append(out.Memory, shell.MemoryDemand{Kind: kind})
+		}
+	}
+	if d.Host != nil {
+		if _, ok := dev.PCIe(); !ok {
+			return out, fmt.Errorf("fleet: %s has no PCIe", dev.Name)
+		}
+		hd := *d.Host
+		out.Host = &hd
+	}
+	return out, nil
+}
+
+// mergedDemands is the union of every registered service's demands —
+// the shell each commissioned device must carry so any replica can be
+// placed or failed over onto it.
+func (c *Cluster) mergedDemands() shell.Demands {
+	var out shell.Demands
+	for _, name := range c.svcOrder {
+		d := c.services[name].Demands
+		if d.Network != nil {
+			if out.Network == nil {
+				nd := *d.Network
+				out.Network = &nd
+			} else {
+				if d.Network.Gbps > out.Network.Gbps {
+					out.Network.Gbps = d.Network.Gbps
+				}
+				out.Network.Filter = out.Network.Filter || d.Network.Filter
+				out.Network.Director = out.Network.Director || d.Network.Director
+			}
+		}
+		for _, md := range d.Memory {
+			found := false
+			for _, have := range out.Memory {
+				if have.Kind == md.Kind {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out.Memory = append(out.Memory, md)
+			}
+		}
+		if d.Host != nil {
+			if out.Host == nil {
+				hd := *d.Host
+				out.Host = &hd
+			} else {
+				if d.Host.Queues > out.Host.Queues {
+					out.Host.Queues = d.Host.Queues
+				}
+				// Scatter-gather serves both; only all-bulk stays bulk.
+				out.Host.Bulk = out.Host.Bulk && d.Host.Bulk
+			}
+		}
+	}
+	if out.Network != nil {
+		// The flow director is the fleet's tenant-steering mechanism.
+		out.Network.Director = true
+	}
+	return out
+}
+
+// fleetBaseLogic is the static role-region scaffolding (slot routing,
+// decouplers) the base deployment carries; tenants bring their own
+// logic into PR slots.
+func fleetBaseLogic() *hdl.Module {
+	return &hdl.Module{
+		Name:     "fleet-base",
+		Vendor:   "user",
+		Category: "role",
+		Res:      hdl.Resources{LUT: 18_000, REG: 26_000, BRAM: 32},
+		Code:     hdl.LoC{Handcraft: 2_400},
+	}
+}
+
+// slotBudget computes how many PR slots the chip's structural headroom
+// supports after the deployed shell+base image is subtracted.
+func slotBudget(capacity, used, slotRes hdl.Resources, maxSlots int) int {
+	free := capacity.Sub(used)
+	budget := maxSlots
+	for _, kind := range hdl.ResourceKinds {
+		need, _ := slotRes.Get(kind)
+		if need <= 0 {
+			continue
+		}
+		have, _ := free.Get(kind)
+		if n := have / need; n < budget {
+			budget = n
+		}
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// Commission deploys the fleet shell onto a device through the real
+// toolchain pipeline, boots the instance, builds the functional
+// datapath RBBs, arms the thermal watchdog and wires irq events into
+// the control plane. The node starts Healthy.
+func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
+	if id == "" || plat == nil {
+		return nil, fmt.Errorf("fleet: invalid commission request")
+	}
+	if _, dup := c.byID[id]; dup {
+		return nil, fmt.Errorf("fleet: node %q already commissioned", id)
+	}
+	if len(c.services) == 0 {
+		return nil, fmt.Errorf("fleet: register services before commissioning devices")
+	}
+	demands, err := adaptDemands(plat, c.mergedDemands())
+	if err != nil {
+		return nil, err
+	}
+	baseRole, err := role.New("fleet-base", demands, fleetBaseLogic())
+	if err != nil {
+		return nil, err
+	}
+	proj, err := toolchain.Integrate(plat, baseRole)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: deploy on %s: %w", id, err)
+	}
+	inst, err := device.Boot(proj)
+	if err != nil {
+		return nil, err
+	}
+	inst.SetThermalThreshold(c.cfg.DegradeMilliC)
+
+	clk := apps.UserClock()
+	// All catalog cages run 100G optics; the functional line matches.
+	netRBB, err := rbb.NewNetwork(plat.Vendor, ip.Speed100G, clk, apps.UserWidth)
+	if err != nil {
+		return nil, err
+	}
+	netRBB.Filter.SetEnabled(false)
+	pcieP, ok := plat.PCIe()
+	if !ok {
+		return nil, fmt.Errorf("fleet: %s has no PCIe", plat.Name)
+	}
+	hostRBB, err := rbb.NewHost(plat.Vendor, pcieP.PCIeGen, pcieP.PCIeLanes, ip.SGDMA,
+		clk, apps.UserWidth)
+	if err != nil {
+		return nil, err
+	}
+
+	hasURAM := plat.Chip.Capacity.URAM > 0
+	slotRes := foldURAM(c.cfg.SlotRes, hasURAM)
+	slots := slotBudget(plat.Chip.Capacity, proj.Bitstream.Res, slotRes, c.cfg.MaxSlots)
+	if max := hostRBB.Spec().QueueCount / c.cfg.QueuesPerTenant; slots > max {
+		slots = max
+	}
+	n := &Node{
+		ID: id, Platform: plat, Project: proj, Inst: inst,
+		Net: netRBB, Host: hostRBB,
+		slotRes: slotRes, slots: slots,
+		state:    Healthy,
+		replicas: make(map[string]*Replica),
+	}
+	if slots > 0 {
+		mgr, err := tenancy.NewManager(tenancy.SlotConfig{
+			Slots:           slots,
+			SlotRes:         slotRes,
+			ReconfigTime:    c.cfg.ReconfigTime,
+			QueuesPerTenant: c.cfg.QueuesPerTenant,
+		}, netRBB.Director, hostRBB)
+		if err != nil {
+			return nil, err
+		}
+		n.Tenants = mgr
+	}
+	inst.OnInterrupt(func(ev device.Event) { c.onEvent(n, ev) })
+	c.nodes = append(c.nodes, n)
+	c.byID[id] = n
+	return n, nil
+}
+
+// Nodes lists commissioned nodes in commission order.
+func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// Node returns a commissioned node.
+func (c *Cluster) Node(id string) (*Node, error) {
+	n, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown node %q", id)
+	}
+	return n, nil
+}
+
+// Replicas lists every replica (placed or not) in creation order.
+func (c *Cluster) Replicas() []*Replica { return append([]*Replica(nil), c.replicas...) }
+
+// ReplicasOn lists the replicas placed on one node.
+func (c *Cluster) ReplicasOn(id string) []*Replica {
+	n, ok := c.byID[id]
+	if !ok {
+		return nil
+	}
+	return n.Replicas()
+}
+
+// Kill silently kills a device: every subsequent command on its wire is
+// corrupted until the driver gives up, so the device stops answering
+// heartbeats. Detection takes FailedAfter missed heartbeats.
+func (c *Cluster) Kill(id string) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	n.killed = true
+	n.Inst.SetWireFaultInjector(func(attempt int, buf []byte) []byte {
+		if len(buf) > 0 {
+			buf[0] ^= 0xFF
+		}
+		return buf
+	})
+	return nil
+}
+
+// CutLink severs a device's network link: the PHY raises an
+// EventLinkDown over the irq path (latency-critical, bypassing the
+// command interface), and the control plane fails the node immediately.
+func (c *Cluster) CutLink(now sim.Time, id string) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	c.advance(now)
+	return n.Inst.RaiseEvent(device.RBBNetwork, 0, device.EventLinkDown, 0)
+}
+
+// Overheat injects additional die temperature (milli-degC) into a
+// device's sensors; the next heartbeat trips the thermal watchdog and
+// degrades the node.
+func (c *Cluster) Overheat(id string, offsetMilliC uint32) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	n.Inst.SetThermalOffset(offsetMilliC)
+	return nil
+}
+
+// Cool removes an injected thermal offset.
+func (c *Cluster) Cool(id string) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	n.Inst.SetThermalOffset(0)
+	return nil
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+
+	"harmonia/internal/device"
+	"harmonia/internal/sim"
+)
+
+// The health monitor drives the per-device state machine
+// healthy → degraded → failed → drained from two real signal paths:
+// periodic heartbeats issued over the command interface (a StatsRead on
+// the management block, the same path harmoniactl's `sensors` takes),
+// and the latency-critical irq events (thermal alarm, link down) the
+// modules raise past the command path.
+
+// Transition records one state machine step.
+type Transition struct {
+	At     sim.Time
+	Node   string
+	From   State
+	To     State
+	Reason string
+}
+
+// String formats the transition for operator logs.
+func (t Transition) String() string {
+	return fmt.Sprintf("%v %s: %s -> %s (%s)", t.At, t.Node, t.From, t.To, t.Reason)
+}
+
+// FailoverReport records the recovery from one device failure.
+type FailoverReport struct {
+	Node   string
+	Reason string
+	// DetectedAt is when the control plane declared the device failed.
+	DetectedAt sim.Time
+	// RecoveredAt is when the last re-placed replica's slot
+	// reconfiguration completed on its new device.
+	RecoveredAt sim.Time
+	// Moved counts replicas evicted from the failed device; Replaced of
+	// those found a new home; Unplaced could not be re-placed (capacity
+	// exhausted) and stay pending for the next Place call.
+	Moved, Replaced, Unplaced int
+}
+
+// Recovery reports the time from fault injection to full re-placement.
+func (r FailoverReport) Recovery(faultAt sim.Time) sim.Time {
+	if r.RecoveredAt <= faultAt {
+		return 0
+	}
+	return r.RecoveredAt - faultAt
+}
+
+// Transitions returns the state machine log.
+func (c *Cluster) Transitions() []Transition {
+	return append([]Transition(nil), c.transitions...)
+}
+
+// Failovers returns every completed failover report.
+func (c *Cluster) Failovers() []FailoverReport {
+	return append([]FailoverReport(nil), c.failovers...)
+}
+
+// setState performs one transition; no-ops when the state is unchanged.
+func (c *Cluster) setState(now sim.Time, n *Node, to State, reason string) {
+	if n.state == to {
+		return
+	}
+	c.transitions = append(c.transitions, Transition{
+		At: now, Node: n.ID, From: n.state, To: to, Reason: reason,
+	})
+	n.state = to
+}
+
+// onEvent consumes one irq-path notification from a device.
+func (c *Cluster) onEvent(n *Node, ev device.Event) {
+	switch ev.Code {
+	case device.EventThermalAlarm:
+		if n.state == Healthy {
+			c.setState(c.now, n, Degraded, fmt.Sprintf("thermal alarm %d milli-degC", ev.Data))
+		}
+	case device.EventLinkDown:
+		c.failNode(c.now, n, "link down (irq)")
+	}
+}
+
+// Heartbeat runs one health monitor sweep at now: every live device is
+// probed over the command path and the state machine advances on the
+// results. It returns the transitions this sweep caused.
+func (c *Cluster) Heartbeat(now sim.Time) []Transition {
+	c.advance(now)
+	before := len(c.transitions)
+	for _, n := range c.nodes {
+		if n.state == Failed || n.state == Drained {
+			continue
+		}
+		temp, err := n.Inst.CheckHealth()
+		if err != nil {
+			n.missed++
+			if n.missed >= c.cfg.FailedAfter {
+				c.failNode(now, n, fmt.Sprintf("%d consecutive missed heartbeats", n.missed))
+			}
+			continue
+		}
+		n.missed = 0
+		n.lastTemp = temp
+		// CheckHealth already raised the thermal irq if over threshold;
+		// the handler degraded the node. Here we also detect recovery.
+		if temp < c.cfg.DegradeMilliC && n.state == Degraded {
+			c.setState(now, n, Healthy, "temperature recovered")
+		}
+	}
+	return c.transitions[before:]
+}
+
+// RunMonitorUntil advances the periodic health monitor to cover
+// (c.now, until]: every heartbeat due in the interval fires at its
+// scheduled tick. The traffic loop interleaves this with dispatches.
+func (c *Cluster) RunMonitorUntil(until sim.Time) {
+	if c.nextHeartbeat == 0 {
+		c.nextHeartbeat = c.cfg.Heartbeat
+	}
+	for c.nextHeartbeat <= until {
+		c.Heartbeat(c.nextHeartbeat)
+		c.nextHeartbeat += c.cfg.Heartbeat
+	}
+	c.advance(until)
+}
+
+// failNode declares a device failed, evicts its tenants, re-places them
+// on surviving devices and leaves the device drained.
+func (c *Cluster) failNode(now sim.Time, n *Node, reason string) {
+	if n.state == Failed || n.state == Drained {
+		return
+	}
+	c.setState(now, n, Failed, reason)
+	rep := c.evacuate(now, n, reason, false)
+	c.failovers = append(c.failovers, rep)
+	c.setState(rep.RecoveredAt, n, Drained, "evacuated")
+}
+
+// DrainNode performs a planned evacuation of a live (typically
+// degraded) device: tenants are evicted through the tenancy manager —
+// the device is still answering commands — and re-placed elsewhere.
+func (c *Cluster) DrainNode(now sim.Time, id string) (FailoverReport, error) {
+	n, err := c.Node(id)
+	if err != nil {
+		return FailoverReport{}, err
+	}
+	if n.state == Failed || n.state == Drained {
+		return FailoverReport{}, fmt.Errorf("fleet: node %s is already %s", id, n.state)
+	}
+	c.advance(now)
+	rep := c.evacuate(c.now, n, "planned drain", true)
+	c.failovers = append(c.failovers, rep)
+	c.setState(rep.RecoveredAt, n, Drained, "evacuated")
+	return rep, nil
+}
+
+// evacuate moves every replica off a node. With evict set the node is
+// alive and each slot is blanked through its tenancy manager; a dead
+// node's slots are simply abandoned.
+func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) FailoverReport {
+	rep := FailoverReport{Node: n.ID, Reason: reason, DetectedAt: now, RecoveredAt: now}
+	victims := n.Replicas()
+	rep.Moved = len(victims)
+	exclude := map[string]bool{n.ID: true}
+	for _, r := range victims {
+		if evict && n.Tenants != nil {
+			// Blank the slot; co-resident tenants keep running.
+			_, _ = n.Tenants.Evict(now, r.Tenant)
+		}
+		delete(n.replicas, r.Name())
+		r.Node, r.Tenant, r.ReadyAt = "", 0, 0
+		target := c.pickNode(c.services[r.Service], exclude)
+		if target == nil {
+			rep.Unplaced++
+			continue
+		}
+		if err := c.admit(now, target, r); err != nil {
+			rep.Unplaced++
+			continue
+		}
+		rep.Replaced++
+		if r.ReadyAt > rep.RecoveredAt {
+			rep.RecoveredAt = r.ReadyAt
+		}
+	}
+	return rep
+}

@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"harmonia/internal/net"
+	"harmonia/internal/sim"
+)
+
+// The placement scheduler bin-packs replicas onto devices using the
+// structural resource model: a candidate must have a free tenancy slot
+// whose budget fits the replica's logic (after URAM folding for the
+// chip), carry the peripherals the service demands, and meet its PCIe
+// generation floor. Among candidates, replicas of the same service
+// spread across devices (anti-affinity keeps a single device failure
+// from taking out a whole service) while otherwise preferring the
+// fullest device (best-fit bin-packing maximizes slot co-residency).
+
+// canHost reports whether a node can take one replica of the service
+// right now, with the reason when it cannot.
+func (c *Cluster) canHost(n *Node, svc *Service) error {
+	if n.state != Healthy {
+		return fmt.Errorf("node %s is %s", n.ID, n.state)
+	}
+	if n.Tenants == nil || n.Tenants.FreeSlots() == 0 {
+		return fmt.Errorf("node %s has no free slot", n.ID)
+	}
+	if _, err := adaptDemands(n.Platform, svc.Demands); err != nil {
+		return err
+	}
+	if svc.MinPCIeGen > 0 {
+		p, ok := n.Platform.PCIe()
+		if !ok || p.PCIeGen < svc.MinPCIeGen {
+			return fmt.Errorf("node %s is below PCIe gen %d", n.ID, svc.MinPCIeGen)
+		}
+	}
+	logic := foldURAM(svc.Logic, n.Platform.Chip.Capacity.URAM > 0)
+	if logic.Utilization(n.slotRes) > 1 {
+		return fmt.Errorf("replica logic exceeds %s slot budget (%s > %s)",
+			n.ID, logic.String(), n.slotRes.String())
+	}
+	return nil
+}
+
+// serviceCount reports how many replicas of one service a node hosts.
+func (n *Node) serviceCount(service string) int {
+	count := 0
+	for _, r := range n.replicas {
+		if r.Service == service {
+			count++
+		}
+	}
+	return count
+}
+
+// pickNode selects the placement target for one replica, or nil.
+func (c *Cluster) pickNode(svc *Service, exclude map[string]bool) *Node {
+	var candidates []*Node
+	for _, n := range c.nodes {
+		if exclude[n.ID] {
+			continue
+		}
+		if err := c.canHost(n, svc); err == nil {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		// Anti-affinity first: fewest replicas of this service.
+		if sa, sb := a.serviceCount(svc.Name), b.serviceCount(svc.Name); sa != sb {
+			return sa < sb
+		}
+		// Then best-fit: fewest free slots (pack the fullest device).
+		if fa, fb := a.Tenants.FreeSlots(), b.Tenants.FreeSlots(); fa != fb {
+			return fa < fb
+		}
+		return a.ID < b.ID
+	})
+	return candidates[0]
+}
+
+// admit places one replica on a node through the node's tenancy
+// manager: the slot partially reconfigures and the flow director and
+// host queues take the replica's steering rules.
+func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
+	logic := foldURAM(c.services[r.Service].Logic, n.Platform.Chip.Capacity.URAM > 0)
+	t, err := n.Tenants.Admit(now, r.Name(), logic, []net.IPAddr{r.VIP})
+	if err != nil {
+		return err
+	}
+	r.Node = n.ID
+	r.Tenant = t.ID
+	r.ReadyAt = t.ReadyAt
+	n.replicas[r.Name()] = r
+	return nil
+}
+
+// vipFor derives replica i's virtual IP from the service base address.
+func vipFor(base net.IPAddr, i int) net.IPAddr {
+	v := base
+	v[3] += byte(i)
+	return v
+}
+
+// Place materializes every registered service's replicas and schedules
+// all unplaced ones. It is incremental: services or devices added later
+// are covered by the next call. Placement failures abort with the
+// scheduler's reason.
+func (c *Cluster) Place(now sim.Time) ([]*Replica, error) {
+	c.advance(now)
+	// Materialize replicas for newly registered services.
+	have := map[string]bool{}
+	for _, r := range c.replicas {
+		have[r.Name()] = true
+	}
+	for _, name := range c.svcOrder {
+		svc := c.services[name]
+		for i := 0; i < svc.Replicas; i++ {
+			r := &Replica{Service: name, Index: i, VIP: vipFor(svc.VIPBase, i)}
+			if !have[r.Name()] {
+				c.replicas = append(c.replicas, r)
+			}
+		}
+	}
+	// Schedule unplaced replicas, largest slot-utilization first
+	// (decreasing best-fit), name as the deterministic tie-break.
+	var pending []*Replica
+	for _, r := range c.replicas {
+		if r.Node == "" {
+			pending = append(pending, r)
+		}
+	}
+	util := func(r *Replica) float64 {
+		return c.services[r.Service].Logic.Utilization(c.cfg.SlotRes)
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if ui, uj := util(pending[i]), util(pending[j]); ui != uj {
+			return ui > uj
+		}
+		return pending[i].Name() < pending[j].Name()
+	})
+	var placed []*Replica
+	for _, r := range pending {
+		n := c.pickNode(c.services[r.Service], nil)
+		if n == nil {
+			return placed, fmt.Errorf("fleet: no device can host %s", r.Name())
+		}
+		if err := c.admit(c.now, n, r); err != nil {
+			return placed, err
+		}
+		placed = append(placed, r)
+	}
+	return placed, nil
+}

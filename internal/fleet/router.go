@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"harmonia/internal/metrics"
+	"harmonia/internal/net"
+	"harmonia/internal/sim"
+)
+
+// The fleet router dispatches live workload across a service's
+// replicas. Replica choice is queue-depth aware: two candidates are
+// sampled (power-of-two-choices) and the one whose device carries the
+// smaller datapath backlog wins; degraded devices pay a cost penalty so
+// traffic drains away from them without a hard cutoff. The chosen
+// packet then really crosses the device: flow-director steering with
+// the tenancy isolation check, then MAC + wrapper ingress with tail
+// drop under overload.
+
+// degradedPenalty scales a degraded device's apparent queue depth.
+const degradedPenalty = 4
+
+// router holds the dispatch state.
+type router struct {
+	c   *Cluster
+	rng *rand.Rand
+	lat *metrics.Latencies
+
+	sent, served, dropped int64
+	bytes                 int64
+}
+
+func newRouter(c *Cluster, seed int64) *router {
+	return &router{c: c, rng: rand.New(rand.NewSource(seed)), lat: &metrics.Latencies{}}
+}
+
+// Dispatch is the outcome of routing one packet.
+type Dispatch struct {
+	Replica *Replica
+	Node    string
+	Queue   int
+	Done    sim.Time
+	Dropped bool
+}
+
+// cost is the routing metric: outstanding backlog, inflated on
+// degraded devices.
+func (r *router) cost(n *Node, now sim.Time) sim.Time {
+	d := n.QueueDepth(now)
+	if n.state == Degraded {
+		return (d + sim.Microsecond) * degradedPenalty
+	}
+	return d
+}
+
+// candidates lists the service's dispatchable replicas at now: placed,
+// reconfiguration complete, device serving traffic.
+func (c *Cluster) candidates(svc string, now sim.Time) []*Replica {
+	var out []*Replica
+	for _, r := range c.replicas {
+		if r.Service != svc || r.Node == "" || now < r.ReadyAt {
+			continue
+		}
+		n := c.byID[r.Node]
+		if n.state == Healthy || n.state == Degraded {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Route dispatches one packet of a service's traffic across the fleet.
+func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, error) {
+	c.advance(now)
+	r := c.router
+	r.sent++
+	cands := c.candidates(svc, now)
+	if len(cands) == 0 {
+		r.dropped++
+		return Dispatch{Dropped: true}, fmt.Errorf("fleet: no live replica of %s", svc)
+	}
+	pick := cands[0]
+	if len(cands) > 1 {
+		// Power-of-two-choices on device backlog.
+		i := r.rng.Intn(len(cands))
+		j := r.rng.Intn(len(cands) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := cands[i], cands[j]
+		ca, cb := r.cost(c.byID[a.Node], now), r.cost(c.byID[b.Node], now)
+		switch {
+		case ca < cb:
+			pick = a
+		case cb < ca:
+			pick = b
+		case a.Node <= b.Node:
+			pick = a
+		default:
+			pick = b
+		}
+	}
+	n := c.byID[pick.Node]
+	p.DstIP = pick.VIP
+	// Tenant steering + isolation invariant on the chosen device.
+	queue, _, err := n.Tenants.Route(p)
+	if err != nil {
+		r.dropped++
+		return Dispatch{Replica: pick, Node: n.ID, Dropped: true}, err
+	}
+	// The packet crosses the device's MAC, wrapper and ingress queue;
+	// overload tail-drops and the monitoring counts it.
+	done, _, ok := n.Net.Ingress(now, p)
+	if !ok {
+		r.dropped++
+		return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Dropped: true}, nil
+	}
+	if done > n.busyUntil {
+		n.busyUntil = done
+	}
+	r.served++
+	r.bytes += int64(p.WireBytes)
+	r.lat.Add(done - now)
+	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
+}
+
+// RouterSnapshot is the router's cumulative view.
+type RouterSnapshot struct {
+	Sent, Served, Dropped int64
+	Bytes                 int64
+}
+
+// RouterStats reports cumulative dispatch counters.
+func (c *Cluster) RouterStats() RouterSnapshot {
+	return RouterSnapshot{
+		Sent: c.router.sent, Served: c.router.served,
+		Dropped: c.router.dropped, Bytes: c.router.bytes,
+	}
+}
+
+// resetWindow starts a fresh measurement window and returns the
+// previous latency collector.
+func (r *router) resetWindow() *metrics.Latencies {
+	old := r.lat
+	r.lat = &metrics.Latencies{}
+	return old
+}
+
+// NodeStats is one device's live view for operator output.
+type NodeStats struct {
+	ID       string
+	State    State
+	Slots    int
+	Free     int
+	Replicas int
+	Served   int64
+	Dropped  int64
+	TempC    float64
+	Depth    sim.Time
+}
+
+// Fleet reports per-device stats at now, in commission order.
+func (c *Cluster) Fleet(now sim.Time) []NodeStats {
+	out := make([]NodeStats, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		free := 0
+		if n.Tenants != nil {
+			free = n.Tenants.FreeSlots()
+		}
+		rx := n.Net.RxStats()
+		out = append(out, NodeStats{
+			ID: n.ID, State: n.state, Slots: n.slots, Free: free,
+			Replicas: len(n.replicas),
+			Served:   rx.Units, Dropped: rx.Drops,
+			TempC: float64(n.lastTemp) / 1000,
+			Depth: n.QueueDepth(now),
+		})
+	}
+	return out
+}

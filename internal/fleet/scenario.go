@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/metrics"
+	"harmonia/internal/net"
+	"harmonia/internal/platform"
+	"harmonia/internal/sim"
+	"harmonia/internal/workload"
+)
+
+// Scenario drivers: a closed traffic loop over the cluster (Serve), the
+// scale-out sweep and the kill-a-device drill. cmd/harmonia-fleet and
+// bench build on these.
+
+// Traffic shapes one serving phase.
+type Traffic struct {
+	Service     string
+	OfferedGbps float64
+	PktBytes    int
+	Flows       int
+	// Jitter spreads packet gaps (see workload.Arrivals).
+	Jitter float64
+	// Seed makes the phase reproducible end to end: packet contents,
+	// arrival times and router sampling all derive from explicit seeds.
+	Seed int64
+}
+
+// DefaultTraffic returns a moderate offered load for one service.
+func DefaultTraffic(service string) Traffic {
+	return Traffic{
+		Service: service, OfferedGbps: 40, PktBytes: 1024,
+		Flows: 256, Jitter: 0.2, Seed: 7,
+	}
+}
+
+// PhaseStats summarizes one serving phase.
+type PhaseStats struct {
+	From, To              sim.Time
+	Sent, Served, Dropped int64
+	Bytes                 int64
+	// GoodputGbps and QPS are aggregate cluster-wide rates over the
+	// phase; P50/P99 are per-packet device transit latencies.
+	GoodputGbps float64
+	QPS         float64
+	P50, P99    sim.Time
+}
+
+// Serve runs one traffic phase of the given duration starting at the
+// cluster's current time, interleaving the periodic health monitor with
+// per-packet dispatch, and reports aggregate throughput/QPS/latency
+// over the phase via the metrics package.
+func (c *Cluster) Serve(dur sim.Time, t Traffic) (PhaseStats, error) {
+	if dur <= 0 || t.OfferedGbps <= 0 || t.PktBytes < net.MinFrame {
+		return PhaseStats{}, fmt.Errorf("fleet: invalid traffic phase %+v over %v", t, dur)
+	}
+	if _, ok := c.services[t.Service]; !ok {
+		return PhaseStats{}, fmt.Errorf("fleet: unknown service %q", t.Service)
+	}
+	gap := sim.Time(float64((t.PktBytes+net.FrameOverhead)*8) / t.OfferedGbps * float64(sim.Nanosecond))
+	if gap < 1 {
+		gap = 1
+	}
+	count := int(dur/gap) + 1
+	pkts, err := workload.Packets(workload.PacketConfig{
+		Count: count, Size: t.PktBytes, Flows: t.Flows, Seed: t.Seed,
+	})
+	if err != nil {
+		return PhaseStats{}, err
+	}
+	arrivals, err := workload.Arrivals(count, gap, t.Jitter, t.Seed+1)
+	if err != nil {
+		return PhaseStats{}, err
+	}
+
+	start := c.now
+	before := c.RouterStats()
+	c.router.resetWindow()
+	for i, p := range pkts {
+		at := start + arrivals[i]
+		if at > start+dur {
+			break
+		}
+		// Fire every heartbeat due before this packet.
+		c.RunMonitorUntil(at)
+		_, _ = c.Route(at, t.Service, p) // drops are part of the result
+	}
+	c.RunMonitorUntil(start + dur)
+
+	after := c.RouterStats()
+	lat := c.router.resetWindow()
+	elapsed := c.now - start
+	stats := PhaseStats{
+		From: start, To: c.now,
+		Sent:    after.Sent - before.Sent,
+		Served:  after.Served - before.Served,
+		Dropped: after.Dropped - before.Dropped,
+		Bytes:   after.Bytes - before.Bytes,
+		P50:     lat.Percentile(50),
+		P99:     lat.Percentile(99),
+	}
+	stats.GoodputGbps = metrics.Gbps(stats.Bytes, elapsed)
+	stats.QPS = metrics.Rate(stats.Served, elapsed)
+	return stats, nil
+}
+
+// compatiblePlatforms lists catalog devices able to host the service,
+// in catalog order.
+func compatiblePlatforms(svc Service) []*platform.Device {
+	var out []*platform.Device
+	for _, name := range platform.CatalogNames() {
+		dev, err := platform.Lookup(name)
+		if err != nil {
+			continue
+		}
+		if _, err := adaptDemands(dev, svc.Demands); err != nil {
+			continue
+		}
+		if svc.MinPCIeGen > 0 {
+			p, ok := dev.PCIe()
+			if !ok || p.PCIeGen < svc.MinPCIeGen {
+				continue
+			}
+		}
+		out = append(out, dev)
+	}
+	return out
+}
+
+// BuildCluster commissions a heterogeneous fleet of n devices (cycling
+// the compatible catalog models) hosting `replicas` replicas of the
+// named application, and places them.
+func BuildCluster(cfg Config, appName string, n, replicas int) (*Cluster, error) {
+	info, err := apps.Lookup(appName)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc := AppService(info, replicas, net.IPv4(20, 0, 0, 1))
+	if err := c.AddService(svc); err != nil {
+		return nil, err
+	}
+	models := compatiblePlatforms(svc)
+	if len(models) == 0 {
+		return nil, fmt.Errorf("fleet: no catalog device can host %s", appName)
+	}
+	for i := 0; i < n; i++ {
+		model := models[i%len(models)]
+		// Each node gets its own platform instance (catalog returns
+		// fresh copies per Lookup).
+		plat, err := platform.Lookup(model.Name)
+		if err != nil {
+			return nil, err
+		}
+		id := fmt.Sprintf("node-%02d-%s", i+1, plat.Name)
+		if _, err := c.Commission(id, plat); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.Place(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ScalePoint is one scale-out sweep measurement.
+type ScalePoint struct {
+	Devices  int
+	Replicas int
+	PhaseStats
+}
+
+// ScaleOut sweeps the fleet from 1 to maxDevices devices (one replica
+// per device), offering load proportional to the fleet size, and
+// reports aggregate throughput at each size. Aggregate Gbps growing
+// with device count is the scale-out property the bench asserts.
+func ScaleOut(cfg Config, appName string, maxDevices int, t Traffic) ([]ScalePoint, error) {
+	if maxDevices <= 0 {
+		return nil, fmt.Errorf("fleet: invalid sweep size %d", maxDevices)
+	}
+	perDevice := t.OfferedGbps
+	var out []ScalePoint
+	for n := 1; n <= maxDevices; n++ {
+		c, err := BuildCluster(cfg, appName, n, n)
+		if err != nil {
+			return out, err
+		}
+		// Let every slot finish reconfiguring before offering load.
+		c.RunMonitorUntil(cfg.ReconfigTime * 2)
+		phase := t
+		phase.OfferedGbps = perDevice * float64(n)
+		stats, err := c.Serve(400*sim.Microsecond, phase)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ScalePoint{Devices: n, Replicas: n, PhaseStats: stats})
+	}
+	return out, nil
+}
+
+// DrillResult reports a kill-a-device drill.
+type DrillResult struct {
+	Devices int
+	Killed  string
+	// FaultAt is when the device died; DetectedAt when the monitor
+	// declared it failed; RecoveredAt when its last replica finished
+	// re-placing. RecoveryTime = RecoveredAt - FaultAt.
+	FaultAt, DetectedAt, RecoveredAt sim.Time
+	RecoveryTime                     sim.Time
+	// Moved/Replaced/Unplaced count the failed device's tenants.
+	Moved, Replaced, Unplaced int
+	// Pre/Post are the serving phases before the fault and after
+	// recovery; throughput recovering toward Pre is the drill's pass
+	// signal.
+	Pre, Post   PhaseStats
+	Transitions []Transition
+}
+
+// KillDrill builds an n-device fleet, serves traffic, silently kills
+// the most loaded device mid-run, and measures detection, re-placement
+// and throughput recovery. The survivors must have spare slots, so the
+// drill runs n replicas on n devices with anti-affinity spreading them
+// one-per-device beforehand.
+func KillDrill(cfg Config, appName string, n int, t Traffic) (*DrillResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("fleet: kill drill needs at least 2 devices, got %d", n)
+	}
+	c, err := BuildCluster(cfg, appName, n, n)
+	if err != nil {
+		return nil, err
+	}
+	c.RunMonitorUntil(cfg.ReconfigTime * 2)
+
+	pre, err := c.Serve(300*sim.Microsecond, t)
+	if err != nil {
+		return nil, err
+	}
+
+	// Kill the device hosting the most replicas (lowest ID breaks ties).
+	nodes := c.Nodes()
+	sort.Slice(nodes, func(i, j int) bool {
+		if li, lj := len(nodes[i].replicas), len(nodes[j].replicas); li != lj {
+			return li > lj
+		}
+		return nodes[i].ID < nodes[j].ID
+	})
+	victim := nodes[0]
+	faultAt := c.Now()
+	if err := c.Kill(victim.ID); err != nil {
+		return nil, err
+	}
+
+	// Serve through detection + reconfiguration: the router sheds load
+	// to the survivors while the monitor counts missed heartbeats.
+	detectBudget := sim.Time(cfg.FailedAfter+2)*cfg.Heartbeat + 2*cfg.ReconfigTime
+	mid := t
+	mid.Seed = t.Seed + 100
+	if _, err := c.Serve(detectBudget, mid); err != nil {
+		return nil, err
+	}
+	var report *FailoverReport
+	for i := range c.failovers {
+		if c.failovers[i].Node == victim.ID {
+			report = &c.failovers[i]
+			break
+		}
+	}
+	if report == nil {
+		return nil, fmt.Errorf("fleet: %s was never declared failed", victim.ID)
+	}
+
+	post := t
+	post.Seed = t.Seed + 200
+	postStats, err := c.Serve(300*sim.Microsecond, post)
+	if err != nil {
+		return nil, err
+	}
+
+	return &DrillResult{
+		Devices: n, Killed: victim.ID,
+		FaultAt: faultAt, DetectedAt: report.DetectedAt, RecoveredAt: report.RecoveredAt,
+		RecoveryTime: report.Recovery(faultAt),
+		Moved:        report.Moved, Replaced: report.Replaced, Unplaced: report.Unplaced,
+		Pre: pre, Post: postStats,
+		Transitions: c.Transitions(),
+	}, nil
+}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"harmonia/internal/net"
+	"harmonia/internal/sim"
 )
 
 // PacketSizes is the paper's packet-size sweep (Figs. 10a, 17a-c).
@@ -242,6 +243,36 @@ func Dot(a, b []float32) float32 {
 		s += a[i] * b[i]
 	}
 	return s
+}
+
+// Arrivals returns n cumulative packet arrival offsets with the given
+// mean inter-arrival gap. Jitter in [0, 1) spreads each gap uniformly
+// over [1-jitter, 1+jitter] of the mean, modelling the burstiness of
+// offered load without changing its average rate. The explicit seed
+// makes fleet scenarios and failover drills reproducible: the same
+// seed yields the identical arrival process.
+func Arrivals(n int, gap sim.Time, jitter float64, seed int64) ([]sim.Time, error) {
+	if n <= 0 || gap <= 0 {
+		return nil, fmt.Errorf("workload: invalid arrival config n=%d gap=%v", n, gap)
+	}
+	if jitter < 0 || jitter >= 1 {
+		return nil, fmt.Errorf("workload: jitter %v outside [0, 1)", jitter)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sim.Time, n)
+	var t sim.Time
+	for i := range out {
+		g := gap
+		if jitter > 0 {
+			g = sim.Time(float64(gap) * (1 - jitter + 2*jitter*rng.Float64()))
+			if g < 1 {
+				g = 1
+			}
+		}
+		t += g
+		out[i] = t
+	}
+	return out, nil
 }
 
 // ZipfFlows draws per-packet flow indices from a Zipf distribution over

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"harmonia/internal/net"
+	"harmonia/internal/sim"
 )
 
 func TestPacketsDeterministic(t *testing.T) {
@@ -203,5 +204,62 @@ func TestZipfFlowsHeavyHitters(t *testing.T) {
 	}
 	if _, err := ZipfFlows(10, 10, 0.5, 1); err == nil {
 		t.Error("skew <= 1 accepted")
+	}
+}
+
+func TestArrivalsSeededReproducible(t *testing.T) {
+	a, err := Arrivals(5_000, 200*sim.Nanosecond, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strictly increasing offsets.
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("arrival %d (%v) not after %d (%v)", i, a[i], i-1, a[i-1])
+		}
+	}
+	// Jitter preserves the mean rate within a few percent.
+	mean := float64(a[len(a)-1]) / float64(len(a))
+	want := float64(200 * sim.Nanosecond)
+	if mean < 0.95*want || mean > 1.05*want {
+		t.Errorf("mean gap %.1f, want ~%.0f", mean, want)
+	}
+	// The explicit seed makes the process reproducible...
+	b, _ := Arrivals(5_000, 200*sim.Nanosecond, 0.3, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different arrivals")
+		}
+	}
+	// ...and a different seed perturbs it.
+	c, _ := Arrivals(5_000, 200*sim.Nanosecond, 0.3, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical arrivals")
+	}
+	// Zero jitter degenerates to a fixed gap.
+	d, err := Arrivals(10, 100*sim.Nanosecond, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range d {
+		if at != sim.Time(i+1)*100*sim.Nanosecond {
+			t.Fatalf("zero-jitter arrival %d = %v", i, at)
+		}
+	}
+	if _, err := Arrivals(0, 100, 0.1, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Arrivals(10, 0, 0.1, 1); err == nil {
+		t.Error("zero gap accepted")
+	}
+	if _, err := Arrivals(10, 100, 1.0, 1); err == nil {
+		t.Error("jitter 1.0 accepted")
 	}
 }
