@@ -1,54 +1,109 @@
 // Command harmonia-fleet drives the multi-device control plane: it
 // commissions a heterogeneous fleet of catalog devices, places service
-// replicas into their PR slots, and runs the two operator drills —
-// the scale-out sweep (aggregate throughput vs device count) and the
+// replicas into their PR slots, and runs the operator drills —
+// the scale-out sweep (aggregate throughput vs device count), the
 // kill-a-device drill (health-driven failover with measured recovery
-// time).
+// time), and the control-plane overhead bench (serial scan vs sharded
+// fast path, emitted as BENCH_fleet.json).
 //
 // Usage:
 //
 //	harmonia-fleet -scenario scale -devices 4
 //	harmonia-fleet -scenario drill -devices 3 -app layer4-lb
-//	harmonia-fleet -scenario drill -gbps 60 -seed 11
+//	harmonia-fleet -scenario bench -nodes 100,300,1000 -json BENCH_fleet.json
+//	harmonia-fleet -scenario bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
+	"harmonia/internal/bench"
 	"harmonia/internal/fleet"
+	"harmonia/internal/sim"
 )
 
+// options collects the CLI knobs so scenarios stay testable.
+type options struct {
+	scenario string
+	app      string
+	devices  int
+	gbps     float64
+	seed     int64
+	// bench scenario only.
+	nodes    string // comma-separated fleet sizes
+	jsonPath string // where to write the machine-readable report
+}
+
 func main() {
-	scenario := flag.String("scenario", "scale", "scale | drill")
-	app := flag.String("app", "layer4-lb", "application to replicate across the fleet")
-	devices := flag.Int("devices", 4, "fleet size (sweep upper bound for scale)")
-	gbps := flag.Float64("gbps", 40, "offered load per device (Gbps)")
-	seed := flag.Int64("seed", 7, "workload and router seed")
+	var o options
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench")
+	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
+	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
+	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
+	flag.Int64Var(&o.seed, "seed", 7, "workload and router seed")
+	flag.StringVar(&o.nodes, "nodes", "", "bench: comma-separated fleet sizes (default 100,300,1000)")
+	flag.StringVar(&o.jsonPath, "json", "BENCH_fleet.json", "bench: report path (empty to skip)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scenario, *app, *devices, *gbps, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "harmonia-fleet:", err)
-		os.Exit(1)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(os.Stdout, o); err != nil {
+		fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-func run(w io.Writer, scenario, app string, devices int, gbps float64, seed int64) error {
-	traffic := fleet.DefaultTraffic(app)
-	traffic.OfferedGbps = gbps
-	traffic.Seed = seed
-	cfg := fleet.DefaultConfig()
-	cfg.Seed = seed
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harmonia-fleet:", err)
+	os.Exit(1)
+}
 
-	switch scenario {
+func run(w io.Writer, o options) error {
+	traffic := fleet.DefaultTraffic(o.app)
+	traffic.OfferedGbps = o.gbps
+	traffic.Seed = o.seed
+	cfg := fleet.DefaultConfig()
+	cfg.Seed = o.seed
+
+	switch o.scenario {
 	case "scale":
-		return runScale(w, cfg, app, devices, traffic)
+		return runScale(w, cfg, o.app, o.devices, traffic)
 	case "drill":
-		return runDrill(w, cfg, app, devices, traffic)
+		return runDrill(w, cfg, o.app, o.devices, traffic)
+	case "bench":
+		return runBench(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale or drill)", scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill or bench)", o.scenario)
 	}
 }
 
@@ -98,4 +153,58 @@ func runDrill(w io.Writer, cfg fleet.Config, app string, n int, t fleet.Traffic)
 		fmt.Fprintf(w, "  %v\n", tr)
 	}
 	return nil
+}
+
+// runBench runs the fleet3 control-plane overhead sweep, prints the
+// scaling table, and writes the machine-readable report.
+func runBench(w io.Writer, o options) error {
+	sizes, err := parseSizes(o.nodes)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.FleetControlPlaneReport(sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "control-plane overhead: %s, %.0f Gbps/node, %v phase\n\n",
+		rep.App, rep.GbpsPerNode, sim.Time(rep.PhaseNs))
+	fmt.Fprintf(w, "%-7s %-7s %-8s %-9s %-13s %-13s %-12s %-12s %-9s %-9s\n",
+		"nodes", "shards", "cohorts", "packets",
+		"base-ns/pkt", "fast-ns/pkt", "base-allocs", "fast-allocs",
+		"speedup", "allocs/")
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "%-7d %-7d %-8d %-9d %-13.0f %-13.0f %-12.3f %-12.3f %-9.1f %-9.0f\n",
+			p.Nodes, p.Shards, p.Cohorts, p.Packets,
+			p.BaselineNsPerPkt, p.FastNsPerPkt,
+			p.BaselineAllocsPerPkt, p.FastAllocsPerPkt,
+			p.SpeedupWall, p.AllocReduction)
+	}
+	if o.jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", o.jsonPath)
+	return nil
+}
+
+// parseSizes parses the -nodes list; empty means the default sweep.
+func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -nodes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

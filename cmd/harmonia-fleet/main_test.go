@@ -2,13 +2,20 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+func opts(scenario string, devices int) options {
+	return options{scenario: scenario, app: "layer4-lb", devices: devices, gbps: 40, seed: 7}
+}
+
 func TestRunScale(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "scale", "layer4-lb", 2, 40, 7); err != nil {
+	if err := run(&out, opts("scale", 2)); err != nil {
 		t.Fatalf("scale scenario: %v", err)
 	}
 	s := out.String()
@@ -22,7 +29,7 @@ func TestRunScale(t *testing.T) {
 
 func TestRunDrill(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "drill", "layer4-lb", 3, 40, 7); err != nil {
+	if err := run(&out, opts("drill", 3)); err != nil {
 		t.Fatalf("drill scenario: %v", err)
 	}
 	s := out.String()
@@ -33,15 +40,67 @@ func TestRunDrill(t *testing.T) {
 	}
 }
 
+func TestRunBench(t *testing.T) {
+	// Tiny fleet sizes keep the serial baseline fast; the real sweep
+	// (100/300/1000) runs in CI's bench-smoke job.
+	o := opts("bench", 0)
+	o.nodes = "2,4"
+	o.jsonPath = filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatalf("bench scenario: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"base-ns/pkt", "fast-ns/pkt", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bench output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(o.jsonPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Points     []struct {
+			Nodes            int     `json:"nodes"`
+			Packets          int64   `json:"packets"`
+			BaselineNsPerPkt float64 `json:"baseline_ns_per_pkt"`
+			FastNsPerPkt     float64 `json:"fast_ns_per_pkt"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Experiment != "fleet3" || len(rep.Points) != 2 {
+		t.Fatalf("report = %+v, want fleet3 with 2 points", rep)
+	}
+	for _, p := range rep.Points {
+		if p.Packets == 0 || p.BaselineNsPerPkt <= 0 || p.FastNsPerPkt <= 0 {
+			t.Errorf("point %+v has empty measurements", p)
+		}
+	}
+}
+
+func TestRunBenchBadNodes(t *testing.T) {
+	o := opts("bench", 0)
+	o.nodes = "10,zero"
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("malformed -nodes list accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "bogus", "layer4-lb", 2, 40, 7); err == nil {
+	if err := run(&out, opts("bogus", 2)); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run(&out, "drill", "layer4-lb", 1, 40, 7); err == nil {
+	if err := run(&out, opts("drill", 1)); err == nil {
 		t.Error("1-device drill accepted (needs survivors)")
 	}
-	if err := run(&out, "scale", "ghost-app", 2, 40, 7); err == nil {
+	bad := opts("scale", 2)
+	bad.app = "ghost-app"
+	if err := run(&out, bad); err == nil {
 		t.Error("unknown app accepted")
 	}
 }

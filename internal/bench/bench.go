@@ -48,6 +48,7 @@ func All() []Experiment {
 		{ID: "fig18d", Title: "TCP transmission performance", Run: wrapFig(Fig18d)},
 		{ID: "fleet1", Title: "Fleet scale-out aggregate throughput", Run: wrapFig(FleetScaleOut)},
 		{ID: "fleet2", Title: "Fleet failover recovery time", Run: wrapFig(FleetRecovery)},
+		{ID: "fleet3", Title: "Fleet control-plane overhead scaling", Run: wrapFig(FleetControlPlane)},
 		{ID: "table3", Title: "FPGA devices supported per framework", Run: wrapTab(Table3)},
 		{ID: "table4", Title: "Register vs command configuration items", Run: wrapTab(Table4)},
 	}

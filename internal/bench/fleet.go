@@ -1,6 +1,10 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
+	"time"
+
 	"harmonia/internal/fleet"
 	"harmonia/internal/metrics"
 	"harmonia/internal/sim"
@@ -35,6 +39,195 @@ func FleetScaleOut() (*metrics.Figure, error) {
 		qps.Add(x, p.QPS/1e6)
 	}
 	fig.Series = append(fig.Series, goodput, offered, qps)
+	return fig, nil
+}
+
+// ControlPlaneSizes is the default fleet3 sweep: the sizes where the
+// per-packet candidate scan stops being noise and starts being the
+// bottleneck.
+var ControlPlaneSizes = []int{100, 300, 1000}
+
+// Fixed fleet3 workload: a short phase keeps the serial baseline at
+// 1000 nodes affordable in CI while still routing tens of thousands of
+// packets per point.
+const (
+	cpPhase       = 50 * sim.Microsecond
+	cpGbpsPerNode = 40.0
+	cpApp         = "layer4-lb"
+)
+
+// ControlPlanePoint is one fleet-size measurement of control-plane
+// routing overhead: the same prepared workload run on the pre-shard
+// serial path (per-packet candidate scan, probe-every-node monitor) and
+// on the sharded fast path (incremental replica index, cohort
+// heartbeats, histogram latency window).
+type ControlPlanePoint struct {
+	Nodes   int   `json:"nodes"`
+	Shards  int   `json:"shards"`
+	Cohorts int   `json:"cohorts"`
+	Packets int64 `json:"packets"`
+
+	BaselineNsPerPkt     float64 `json:"baseline_ns_per_pkt"`
+	FastNsPerPkt         float64 `json:"fast_ns_per_pkt"`
+	BaselineAllocsPerPkt float64 `json:"baseline_allocs_per_pkt"`
+	FastAllocsPerPkt     float64 `json:"fast_allocs_per_pkt"`
+	SpeedupWall          float64 `json:"speedup_wall"`
+	AllocReduction       float64 `json:"alloc_reduction"`
+
+	// Goodput on both paths — the sanity check that the fast path
+	// routed the same workload, not a cheaper one.
+	BaselineGoodputGbps float64 `json:"baseline_goodput_gbps"`
+	FastGoodputGbps     float64 `json:"fast_goodput_gbps"`
+}
+
+// ControlPlaneReport is the machine-readable fleet3 artifact
+// (BENCH_fleet.json).
+type ControlPlaneReport struct {
+	Experiment  string              `json:"experiment"`
+	App         string              `json:"app"`
+	PhaseNs     int64               `json:"phase_ns"`
+	GbpsPerNode float64             `json:"gbps_per_node"`
+	Points      []ControlPlanePoint `json:"points"`
+}
+
+// cpCohorts picks the heartbeat cohort count for a fleet size, mirroring
+// the router's auto shard policy: one cohort per 64 devices, capped.
+func cpCohorts(n int) int {
+	c := n/64 + 1
+	if c > 16 {
+		c = 16
+	}
+	return c
+}
+
+// measuredPhase runs one prepared phase and reports wall-ns and heap
+// allocations per offered packet. Workload generation and cluster
+// bring-up happen before the clock starts; only the serving loop is
+// measured.
+func measuredPhase(run func() (fleet.PhaseStats, error)) (fleet.PhaseStats, float64, float64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	st, err := run()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return st, 0, 0, err
+	}
+	if st.Sent == 0 {
+		return st, 0, 0, fmt.Errorf("bench: measured phase sent no packets")
+	}
+	return st,
+		float64(wall.Nanoseconds()) / float64(st.Sent),
+		float64(m1.Mallocs-m0.Mallocs) / float64(st.Sent),
+		nil
+}
+
+// cpPrepare builds an n-device cluster, lets placement mature, and
+// prepares the seeded fleet3 phase (offered load proportional to fleet
+// size, so per-packet cost is compared at matched utilization).
+func cpPrepare(cfg fleet.Config, n int) (*fleet.Phase, error) {
+	c, err := fleet.BuildCluster(cfg, cpApp, n, n)
+	if err != nil {
+		return nil, err
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	t := fleet.DefaultTraffic(cpApp)
+	t.OfferedGbps = cpGbpsPerNode * float64(n)
+	return c.PreparePhase(cpPhase, t)
+}
+
+// ControlPlaneSweep measures routing overhead at each fleet size. Each
+// point builds two identically configured clusters over the same seeded
+// workload: one runs Phase.RunBaseline (the pre-shard serial path with
+// a probe-every-node monitor), the other Phase.Run (sharded fast path
+// with cohort heartbeats).
+func ControlPlaneSweep(sizes []int) ([]ControlPlanePoint, error) {
+	var out []ControlPlanePoint
+	for _, n := range sizes {
+		if n < 1 {
+			return out, fmt.Errorf("bench: invalid fleet size %d", n)
+		}
+		// Baseline: every heartbeat probes every node, as the serial
+		// monitor did before cohorts existed.
+		base := fleet.DefaultConfig()
+		base.HeartbeatCohorts = 1
+		bph, err := cpPrepare(base, n)
+		if err != nil {
+			return out, err
+		}
+		bst, bNs, bAllocs, err := measuredPhase(bph.RunBaseline)
+		if err != nil {
+			return out, err
+		}
+
+		fast := fleet.DefaultConfig()
+		fast.HeartbeatCohorts = cpCohorts(n)
+		fph, err := cpPrepare(fast, n)
+		if err != nil {
+			return out, err
+		}
+		fst, fNs, fAllocs, err := measuredPhase(fph.Run)
+		if err != nil {
+			return out, err
+		}
+
+		p := ControlPlanePoint{
+			Nodes: n, Shards: fph.Shards(), Cohorts: cpCohorts(n),
+			Packets:          fst.Sent,
+			BaselineNsPerPkt: bNs, FastNsPerPkt: fNs,
+			BaselineAllocsPerPkt: bAllocs, FastAllocsPerPkt: fAllocs,
+			BaselineGoodputGbps: bst.GoodputGbps, FastGoodputGbps: fst.GoodputGbps,
+		}
+		if fNs > 0 {
+			p.SpeedupWall = bNs / fNs
+		}
+		if fAllocs > 0 {
+			p.AllocReduction = bAllocs / fAllocs
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FleetControlPlaneReport runs the sweep and wraps it as the
+// BENCH_fleet.json artifact.
+func FleetControlPlaneReport(sizes []int) (*ControlPlaneReport, error) {
+	if len(sizes) == 0 {
+		sizes = ControlPlaneSizes
+	}
+	pts, err := ControlPlaneSweep(sizes)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlPlaneReport{
+		Experiment: "fleet3", App: cpApp,
+		PhaseNs: int64(cpPhase), GbpsPerNode: cpGbpsPerNode,
+		Points: pts,
+	}, nil
+}
+
+// FleetControlPlane is the fleet3 figure: control-plane overhead per
+// routed packet as the fleet scales, serial scan vs sharded fast path.
+func FleetControlPlane() (*metrics.Figure, error) {
+	fig := &metrics.Figure{ID: "fleet3", Title: "Fleet control-plane overhead scaling"}
+	bNs := &metrics.Series{Label: "baseline-ns-per-pkt", XLabel: "devices", YLabel: "ns/pkt"}
+	fNs := &metrics.Series{Label: "fastpath-ns-per-pkt"}
+	bAl := &metrics.Series{Label: "baseline-allocs-per-pkt"}
+	fAl := &metrics.Series{Label: "fastpath-allocs-per-pkt"}
+	pts, err := ControlPlaneSweep(ControlPlaneSizes)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		x := float64(p.Nodes)
+		bNs.Add(x, p.BaselineNsPerPkt)
+		fNs.Add(x, p.FastNsPerPkt)
+		bAl.Add(x, p.BaselineAllocsPerPkt)
+		fAl.Add(x, p.FastAllocsPerPkt)
+	}
+	fig.Series = append(fig.Series, bNs, fNs, bAl, fAl)
 	return fig, nil
 }
 

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"testing"
+
+	"harmonia/internal/sim"
+)
+
+// servePhases builds a fresh sharded cluster and runs two identically
+// seeded phases — one clean, one spanning a device failure — returning
+// both PhaseStats. Everything observable is derived from explicit
+// seeds, so two calls with the same worker count must match, and the
+// determinism contract says worker count must not matter either.
+func servePhases(t *testing.T, workers int) (PhaseStats, PhaseStats) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RouterShards = 4
+	cfg.ServeWorkers = workers
+	c, err := BuildCluster(cfg, testApp, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	tr := DefaultTraffic(testApp)
+	tr.OfferedGbps = 200
+	first, err := c.Serve(120*sim.Microsecond, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a device mid-phase: failover runs at a heartbeat barrier
+	// inside the serving loop, exercising index updates under way.
+	if err := c.Kill(c.Nodes()[2].ID); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := tr
+	tr2.Seed = tr.Seed + 50
+	second, err := c.Serve(
+		sim.Time(cfg.FailedAfter+2)*cfg.Heartbeat+2*cfg.ReconfigTime, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return first, second
+}
+
+// TestServeDeterministicAcrossWorkers is the determinism contract: two
+// identically seeded Serve phases on a sharded cluster produce
+// byte-identical PhaseStats regardless of how many workers route the
+// shards — including through a mid-phase failover. CI's race job runs
+// this under -race, which also validates that parallel shard routing
+// shares no unsynchronized state.
+func TestServeDeterministicAcrossWorkers(t *testing.T) {
+	base1, base2 := servePhases(t, 1)
+	if base1.Served == 0 || base2.Served == 0 {
+		t.Fatalf("phases served nothing: %+v / %+v", base1, base2)
+	}
+	for _, workers := range []int{2, 8} {
+		got1, got2 := servePhases(t, workers)
+		if got1 != base1 {
+			t.Errorf("workers=%d: clean phase diverges:\n 1 worker: %+v\n %d workers: %+v",
+				workers, base1, workers, got1)
+		}
+		if got2 != base2 {
+			t.Errorf("workers=%d: failover phase diverges:\n 1 worker: %+v\n %d workers: %+v",
+				workers, base2, workers, got2)
+		}
+	}
+}
+
+// TestServeDeterministicRepeatable guards the simpler property: the
+// same seeded phase on two identically built clusters is repeatable.
+func TestServeDeterministicRepeatable(t *testing.T) {
+	a1, a2 := servePhases(t, 0) // 0 = GOMAXPROCS, whatever this host has
+	b1, b2 := servePhases(t, 0)
+	if a1 != b1 || a2 != b2 {
+		t.Errorf("seeded phases not repeatable:\n a=%+v/%+v\n b=%+v/%+v", a1, a2, b1, b2)
+	}
+}
+
+// TestCohortHeartbeatDetection verifies the cohort monitor's bounded
+// failure detection: with C cohorts each sweep probes only ~N/C
+// devices, yet a silent device is still declared failed after
+// FailedAfter consecutive missed probes, within FailedAfter*C ticks.
+func TestCohortHeartbeatDetection(t *testing.T) {
+	const nodes, cohorts = 6, 3
+	cfg := DefaultConfig()
+	cfg.HeartbeatCohorts = cohorts
+	c, err := BuildCluster(cfg, testApp, nodes, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+
+	victim := c.Nodes()[0].ID
+	faultAt := c.Now()
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	// The worst-case detection budget: FailedAfter missed probes at
+	// cohort cadence, plus one full rotation of probe-phase skew.
+	budget := sim.Time((cfg.FailedAfter+1)*cohorts) * cfg.Heartbeat
+	c.RunMonitorUntil(faultAt + budget)
+
+	n, err := c.Node(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.State() != Drained {
+		t.Fatalf("victim state = %s after %v, want drained (cohort detection)", n.State(), budget)
+	}
+	reports := c.Failovers()
+	if len(reports) != 1 {
+		t.Fatalf("got %d failover reports, want 1", len(reports))
+	}
+	detect := reports[0].DetectedAt - faultAt
+	if detect <= 0 || detect > budget {
+		t.Errorf("detection latency %v outside (0, %v]", detect, budget)
+	}
+	// FailedAfter semantics: detection cannot beat FailedAfter probes
+	// of this node, which are cohorts ticks apart.
+	if min := sim.Time((cfg.FailedAfter-1)*cohorts) * cfg.Heartbeat; detect < min {
+		t.Errorf("detection latency %v beats %d probes at cohort cadence (%v)",
+			detect, cfg.FailedAfter, min)
+	}
+}
+
+// TestCohortHeartbeatProbesSubset verifies the amortization itself:
+// one sweep with C cohorts touches only the due cohort's devices.
+func TestCohortHeartbeatProbesSubset(t *testing.T) {
+	const nodes, cohorts = 6, 3
+	cfg := DefaultConfig()
+	cfg.HeartbeatCohorts = cohorts
+	c, err := BuildCluster(cfg, testApp, nodes, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sweep: exactly the nodes with index % cohorts == 0 get a
+	// fresh temperature reading.
+	c.Heartbeat(cfg.Heartbeat)
+	probed := 0
+	for i, n := range c.Nodes() {
+		if n.LastTemp() != 0 {
+			probed++
+			if i%cohorts != 0 {
+				t.Errorf("node %d (cohort %d) probed on cohort 0's tick", i, i%cohorts)
+			}
+		}
+	}
+	if want := nodes / cohorts; probed != want {
+		t.Errorf("first sweep probed %d nodes, want %d", probed, want)
+	}
+	// After a full rotation every node has been probed.
+	for i := 1; i < cohorts; i++ {
+		c.Heartbeat(cfg.Heartbeat * sim.Time(i+1))
+	}
+	for _, n := range c.Nodes() {
+		if n.LastTemp() == 0 {
+			t.Errorf("node %s never probed after a full cohort rotation", n.ID)
+		}
+	}
+}

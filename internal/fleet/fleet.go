@@ -70,6 +70,22 @@ type Config struct {
 	ReconfigTime sim.Time
 	// Seed drives the router's randomized two-choice sampling.
 	Seed int64
+	// RouterShards partitions dispatch state (RNG, counters, latency
+	// window) and the node set into this many shards; flows hash onto
+	// shards and Serve routes shards in parallel. 0 picks one shard per
+	// 64 nodes (capped at 16) when routing first runs. Seeded results
+	// depend on the shard count but not on the worker count.
+	RouterShards int
+	// HeartbeatCohorts splits the fleet into this many round-robin
+	// heartbeat cohorts: each monitor tick probes one cohort, so probe
+	// cost per tick is N/cohorts while a silent device is still
+	// declared failed after FailedAfter consecutive missed probes —
+	// within FailedAfter*cohorts*Heartbeat. 0 or 1 probes every node
+	// each tick.
+	HeartbeatCohorts int
+	// ServeWorkers caps the goroutines Serve fans shards out to.
+	// 0 uses GOMAXPROCS. The worker count never changes results.
+	ServeWorkers int
 }
 
 // DefaultConfig returns production-shaped control plane settings.
@@ -158,6 +174,9 @@ type Node struct {
 	// aware routing.
 	busyUntil sim.Time
 	replicas  map[string]*Replica
+	// shard is the router shard owning this node's dispatch state
+	// (assigned when the router freezes its shard layout).
+	shard int
 }
 
 // State reports the node's health state.
@@ -200,6 +219,7 @@ type Cluster struct {
 
 	now           sim.Time
 	nextHeartbeat sim.Time
+	hbTick        int64
 	transitions   []Transition
 	failovers     []FailoverReport
 	router        *router
@@ -208,7 +228,8 @@ type Cluster struct {
 // NewCluster returns an empty control plane.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Heartbeat <= 0 || cfg.FailedAfter <= 0 || cfg.MaxSlots <= 0 ||
-		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 {
+		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 ||
+		cfg.RouterShards < 0 || cfg.HeartbeatCohorts < 0 || cfg.ServeWorkers < 0 {
 		return nil, fmt.Errorf("fleet: invalid config %+v", cfg)
 	}
 	c := &Cluster{
@@ -468,6 +489,11 @@ func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
 		n.Tenants = mgr
 	}
 	inst.OnInterrupt(func(ev device.Event) { c.onEvent(n, ev) })
+	// Nodes commissioned after the router froze its shard layout join
+	// shards round-robin by commission index.
+	if c.router.frozen {
+		n.shard = len(c.nodes) % len(c.router.shards)
+	}
 	c.nodes = append(c.nodes, n)
 	c.byID[id] = n
 	return n, nil

@@ -69,7 +69,9 @@ func (c *Cluster) setState(now sim.Time, n *Node, to State, reason string) {
 	c.transitions = append(c.transitions, Transition{
 		At: now, Node: n.ID, From: n.state, To: to, Reason: reason,
 	})
+	from := n.state
 	n.state = to
+	c.router.idx.noteState(n, from, to)
 }
 
 // onEvent consumes one irq-path notification from a device.
@@ -84,13 +86,33 @@ func (c *Cluster) onEvent(n *Node, ev device.Event) {
 	}
 }
 
-// Heartbeat runs one health monitor sweep at now: every live device is
-// probed over the command path and the state machine advances on the
-// results. It returns the transitions this sweep caused.
+// cohorts reports the effective heartbeat cohort count.
+func (c *Cluster) cohorts() int {
+	if c.cfg.HeartbeatCohorts > 1 {
+		return c.cfg.HeartbeatCohorts
+	}
+	return 1
+}
+
+// Heartbeat runs one health monitor sweep at now: the due round-robin
+// cohort of live devices is probed over the command path and the state
+// machine advances on the results. With HeartbeatCohorts <= 1 every
+// device is probed each sweep; with C cohorts each sweep probes ~N/C
+// devices and a given device is probed every C-th sweep, so
+// FailedAfter consecutive missed probes still declare it failed — at
+// most FailedAfter*C sweeps after it went silent. It returns the
+// transitions this sweep caused.
 func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	c.advance(now)
+	c.router.idx.mature(now)
 	before := len(c.transitions)
-	for _, n := range c.nodes {
+	cohortCount := c.cohorts()
+	cohort := int(c.hbTick % int64(cohortCount))
+	c.hbTick++
+	for i, n := range c.nodes {
+		if cohortCount > 1 && i%cohortCount != cohort {
+			continue
+		}
 		if n.state == Failed || n.state == Drained {
 			continue
 		}
@@ -170,6 +192,7 @@ func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) Fai
 			// Blank the slot; co-resident tenants keep running.
 			_, _ = n.Tenants.Evict(now, r.Tenant)
 		}
+		c.router.idx.noteRemove(r, n)
 		delete(n.replicas, r.Name())
 		r.Node, r.Tenant, r.ReadyAt = "", 0, 0
 		target := c.pickNode(c.services[r.Service], exclude)

@@ -1,0 +1,247 @@
+package fleet
+
+import "harmonia/internal/sim"
+
+// The replica index maintains, incrementally, the per-service set of
+// dispatchable replicas — the same set candidates() derives by scanning
+// every replica — so the router's fast path never walks the fleet per
+// packet. The index is partitioned by router shard: each shard owns the
+// replicas placed on its nodes, and a shard's ready list is read-only
+// between control-plane barriers (heartbeat ticks), which is what lets
+// Serve's packet loop run shards in parallel without locks.
+//
+// Maintenance points:
+//   - admit: a freshly placed replica is pending until its slot
+//     reconfiguration completes (ReadyAt), then matures into its
+//     shard's ready list at the next control-plane tick;
+//   - eviction/failover: the replica leaves its shard's ready list (and
+//     any stale pending entry is invalidated lazily);
+//   - health transitions: a node leaving the routable states (healthy,
+//     degraded) takes all its ready replicas with it.
+
+// routable reports whether a node in this state takes traffic.
+func routable(s State) bool { return s == Healthy || s == Degraded }
+
+// pendingEntry is a replica waiting out its slot reconfiguration. The
+// placement snapshot (node, readyAt) invalidates the entry lazily when
+// the replica has been moved or evicted before maturing.
+type pendingEntry struct {
+	r       *Replica
+	node    string
+	readyAt sim.Time
+}
+
+// svcIndex is one service's dispatchable replicas, per router shard.
+type svcIndex struct {
+	// ready holds the matured, routable replicas of each shard, in
+	// maturation order (deterministic: all mutations happen on the
+	// serial control-plane path).
+	ready [][]*Replica
+	// active lists shard ids with a non-empty ready list, ascending —
+	// the flow-hash remap target set, so flows never hash onto a shard
+	// that has nothing to serve.
+	active []int
+}
+
+// replicaIndex is the cluster-wide incremental index.
+type replicaIndex struct {
+	c      *Cluster
+	shards int
+	frozen bool
+	svcs   map[string]*svcIndex
+	// pending is a min-heap on readyAt (hand-rolled, by value).
+	pending []pendingEntry
+}
+
+func newReplicaIndex(c *Cluster) *replicaIndex {
+	return &replicaIndex{c: c, svcs: make(map[string]*svcIndex)}
+}
+
+// freeze fixes the shard count and builds the index from the current
+// placement state. Until the first routing operation freezes the
+// router, placement churn is absorbed here in one pass instead of
+// being tracked incrementally.
+func (idx *replicaIndex) freeze(shards int) {
+	idx.shards = shards
+	idx.frozen = true
+	idx.svcs = make(map[string]*svcIndex)
+	idx.pending = idx.pending[:0]
+	for _, r := range idx.c.replicas {
+		if r.Node == "" {
+			continue
+		}
+		idx.noteAdmit(r, idx.c.now)
+	}
+}
+
+// svc returns (creating if needed) one service's index.
+func (idx *replicaIndex) svc(name string) *svcIndex {
+	si, ok := idx.svcs[name]
+	if !ok {
+		si = &svcIndex{ready: make([][]*Replica, idx.shards)}
+		idx.svcs[name] = si
+	}
+	return si
+}
+
+// addReady appends a matured replica to its shard's ready list.
+func (idx *replicaIndex) addReady(r *Replica, shard int) {
+	si := idx.svc(r.Service)
+	if len(si.ready[shard]) == 0 {
+		si.activate(shard)
+	}
+	si.ready[shard] = append(si.ready[shard], r)
+}
+
+// activate inserts a shard id into the sorted active list.
+func (si *svcIndex) activate(shard int) {
+	i := 0
+	for i < len(si.active) && si.active[i] < shard {
+		i++
+	}
+	si.active = append(si.active, 0)
+	copy(si.active[i+1:], si.active[i:])
+	si.active[i] = shard
+}
+
+// deactivate removes a shard id from the active list.
+func (si *svcIndex) deactivate(shard int) {
+	for i, s := range si.active {
+		if s == shard {
+			si.active = append(si.active[:i], si.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// noteAdmit indexes a replica the placement scheduler just admitted (or,
+// during freeze, an existing placement): pending until ReadyAt, ready
+// immediately when its reconfiguration already completed.
+func (idx *replicaIndex) noteAdmit(r *Replica, now sim.Time) {
+	if !idx.frozen {
+		return
+	}
+	n := idx.c.byID[r.Node]
+	if r.ReadyAt > now {
+		idx.pushPending(pendingEntry{r: r, node: r.Node, readyAt: r.ReadyAt})
+		return
+	}
+	if routable(n.state) {
+		idx.addReady(r, n.shard)
+	}
+}
+
+// noteRemove drops a replica leaving a node (eviction, failover). The
+// ready list keeps its relative order so routing stays deterministic;
+// a pending entry, if any, dies lazily on maturation.
+func (idx *replicaIndex) noteRemove(r *Replica, n *Node) {
+	if !idx.frozen {
+		return
+	}
+	si, ok := idx.svcs[r.Service]
+	if !ok {
+		return
+	}
+	list := si.ready[n.shard]
+	for i, have := range list {
+		if have == r {
+			si.ready[n.shard] = append(list[:i], list[i+1:]...)
+			if len(si.ready[n.shard]) == 0 {
+				si.deactivate(n.shard)
+			}
+			return
+		}
+	}
+}
+
+// noteState reacts to a node health transition: leaving the routable
+// states removes every ready replica on the node. (Nodes never re-enter
+// routable states with placements intact: failed/drained nodes are
+// evacuated, and healthy↔degraded are both routable.)
+func (idx *replicaIndex) noteState(n *Node, from, to State) {
+	if !idx.frozen || routable(from) == routable(to) {
+		return
+	}
+	if routable(to) {
+		return
+	}
+	for _, r := range n.replicas {
+		idx.noteRemove(r, n)
+	}
+}
+
+// mature moves pending replicas whose reconfiguration completed by now
+// into their shard's ready list. Runs at control-plane ticks; O(1) when
+// nothing is due.
+func (idx *replicaIndex) mature(now sim.Time) {
+	if !idx.frozen {
+		return
+	}
+	for len(idx.pending) > 0 && idx.pending[0].readyAt <= now {
+		e := idx.popPending()
+		// Stale entries: the replica moved or was evicted before
+		// maturing, or its node stopped taking traffic.
+		if e.r.Node != e.node || e.r.ReadyAt != e.readyAt {
+			continue
+		}
+		n := idx.c.byID[e.node]
+		if !routable(n.state) {
+			continue
+		}
+		idx.addReady(e.r, n.shard)
+	}
+}
+
+// candidatesOf lists every indexed ready replica of a service across
+// shards, for oracle cross-checking against the naive scan.
+func (idx *replicaIndex) candidatesOf(svc string) []*Replica {
+	si, ok := idx.svcs[svc]
+	if !ok {
+		return nil
+	}
+	var out []*Replica
+	for _, s := range si.active {
+		out = append(out, si.ready[s]...)
+	}
+	return out
+}
+
+// pushPending adds an entry to the readyAt min-heap.
+func (idx *replicaIndex) pushPending(e pendingEntry) {
+	idx.pending = append(idx.pending, e)
+	i := len(idx.pending) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if idx.pending[parent].readyAt <= idx.pending[i].readyAt {
+			break
+		}
+		idx.pending[i], idx.pending[parent] = idx.pending[parent], idx.pending[i]
+		i = parent
+	}
+}
+
+// popPending removes the earliest entry from the readyAt min-heap.
+func (idx *replicaIndex) popPending() pendingEntry {
+	top := idx.pending[0]
+	n := len(idx.pending) - 1
+	idx.pending[0] = idx.pending[n]
+	idx.pending[n] = pendingEntry{}
+	idx.pending = idx.pending[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && idx.pending[right].readyAt < idx.pending[left].readyAt {
+			least = right
+		}
+		if idx.pending[i].readyAt <= idx.pending[least].readyAt {
+			break
+		}
+		idx.pending[i], idx.pending[least] = idx.pending[least], idx.pending[i]
+		i = least
+	}
+	return top
+}

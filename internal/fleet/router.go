@@ -17,22 +17,103 @@ import (
 // packet then really crosses the device: flow-director steering with
 // the tenancy isolation check, then MAC + wrapper ingress with tail
 // drop under overload.
+//
+// Dispatch state is sharded. Each shard owns a disjoint subset of the
+// fleet's nodes (node commission index mod shard count) together with
+// its own RNG, counters and latency histogram; flows hash onto shards,
+// remapped over the shards that currently hold ready replicas. Between
+// control-plane barriers (heartbeat ticks) a shard's state is touched
+// by exactly one goroutine, which is what lets Serve route packets in
+// parallel while staying bit-reproducible across worker counts: the
+// per-shard packet order and RNG stream are fixed by the flow hash, not
+// by goroutine scheduling, and counters/histograms merge exactly.
 
 // degradedPenalty scales a degraded device's apparent queue depth.
 const degradedPenalty = 4
 
-// router holds the dispatch state.
-type router struct {
-	c   *Cluster
-	rng *rand.Rand
-	lat *metrics.Latencies
+// maxRouterShards caps the automatic shard count.
+const maxRouterShards = 16
 
+// autoShardNodes is how many nodes each automatic shard covers.
+const autoShardNodes = 64
+
+// shardSeedStride separates per-shard RNG streams (shard 0 keeps the
+// configured seed, matching the pre-shard router stream).
+const shardSeedStride int64 = 0x5851F42D4C957F2D
+
+// routerShard is the dispatch state one worker owns during a phase.
+type routerShard struct {
+	rng *rand.Rand
+	// Cumulative counters (merged into RouterSnapshot).
 	sent, served, dropped int64
 	bytes                 int64
+	// hist is the current measurement window's latency distribution.
+	hist metrics.Histogram
+}
+
+// router holds the sharded dispatch state plus the unsharded baseline
+// path used as the before-side of the fleet3 control-plane benchmark
+// and as the oracle in consistency tests.
+type router struct {
+	c      *Cluster
+	seed   int64
+	frozen bool
+	shards []*routerShard
+	idx    *replicaIndex
+
+	// base is the pre-shard serial path: naive candidate scan, exact
+	// sample buffer.
+	base struct {
+		rng                   *rand.Rand
+		sent, served, dropped int64
+		bytes                 int64
+		lat                   *metrics.Latencies
+	}
 }
 
 func newRouter(c *Cluster, seed int64) *router {
-	return &router{c: c, rng: rand.New(rand.NewSource(seed)), lat: &metrics.Latencies{}}
+	r := &router{c: c, seed: seed, idx: newReplicaIndex(c)}
+	r.base.rng = rand.New(rand.NewSource(seed))
+	r.base.lat = &metrics.Latencies{}
+	return r
+}
+
+// shardCount resolves the configured or automatic shard count for the
+// current fleet size. One shard per autoShardNodes nodes keeps the
+// two-choice sampling pool large while bounding merge fan-in; small
+// fleets get a single shard, preserving fleet-wide two-choice exactly.
+func (r *router) shardCount() int {
+	if s := r.c.cfg.RouterShards; s > 0 {
+		return s
+	}
+	s := len(r.c.nodes)/autoShardNodes + 1
+	if s > maxRouterShards {
+		s = maxRouterShards
+	}
+	return s
+}
+
+// freeze fixes the shard layout on the first routing operation: the
+// shard count resolves from the fleet size, nodes get their shard
+// assignment, and the replica index builds. Nodes commissioned later
+// join shards round-robin; the shard count never changes afterwards,
+// so seeded phases stay reproducible.
+func (r *router) freeze() {
+	if r.frozen {
+		return
+	}
+	r.frozen = true
+	s := r.shardCount()
+	r.shards = make([]*routerShard, s)
+	for i := range r.shards {
+		r.shards[i] = &routerShard{
+			rng: rand.New(rand.NewSource(r.seed + int64(i)*shardSeedStride)),
+		}
+	}
+	for i, n := range r.c.nodes {
+		n.shard = i % s
+	}
+	r.idx.freeze(s)
 }
 
 // Dispatch is the outcome of routing one packet.
@@ -54,8 +135,11 @@ func (r *router) cost(n *Node, now sim.Time) sim.Time {
 	return d
 }
 
-// candidates lists the service's dispatchable replicas at now: placed,
-// reconfiguration complete, device serving traffic.
+// candidates lists the service's dispatchable replicas at now by
+// scanning every replica: placed, reconfiguration complete, device
+// serving traffic. This is the naive O(replicas) path the replica
+// index replaces; it remains the baseline router's source and the
+// oracle the index is cross-checked against.
 func (c *Cluster) candidates(svc string, now sim.Time) []*Replica {
 	var out []*Replica
 	for _, r := range c.replicas {
@@ -70,21 +154,128 @@ func (c *Cluster) candidates(svc string, now sim.Time) []*Replica {
 	return out
 }
 
-// Route dispatches one packet of a service's traffic across the fleet.
+// pickTwoChoice samples two candidates with the shard's RNG and keeps
+// the one on the cheaper device (node ID breaks ties).
+func (c *Cluster) pickTwoChoice(sh *routerShard, cands []*Replica, now sim.Time) *Replica {
+	pick := cands[0]
+	if len(cands) > 1 {
+		i := sh.rng.Intn(len(cands))
+		j := sh.rng.Intn(len(cands) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := cands[i], cands[j]
+		ca, cb := c.router.cost(c.byID[a.Node], now), c.router.cost(c.byID[b.Node], now)
+		switch {
+		case ca < cb:
+			pick = a
+		case cb < ca:
+			pick = b
+		case a.Node <= b.Node:
+			pick = a
+		default:
+			pick = b
+		}
+	}
+	return pick
+}
+
+// routeShard dispatches one packet on one shard — the allocation-free
+// fast path Serve's workers run. Shard state, the picked node's
+// datapath and the packet are all owned by the calling worker between
+// barriers.
+func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p *net.Packet) {
+	sh.sent++
+	if len(cands) == 0 {
+		sh.dropped++
+		return
+	}
+	pick := c.pickTwoChoice(sh, cands, now)
+	n := c.byID[pick.Node]
+	p.DstIP = pick.VIP
+	if _, _, err := n.Tenants.Route(p); err != nil {
+		sh.dropped++
+		return
+	}
+	done, _, ok := n.Net.Ingress(now, p)
+	if !ok {
+		sh.dropped++
+		return
+	}
+	if done > n.busyUntil {
+		n.busyUntil = done
+	}
+	sh.served++
+	sh.bytes += int64(p.WireBytes)
+	sh.hist.Add(done - now)
+}
+
+// shardFor maps a flow onto a shard holding ready replicas of the
+// service; ok is false when no shard does.
+func (r *router) shardFor(si *svcIndex, p *net.Packet) (int, bool) {
+	if len(si.active) == 0 {
+		return 0, false
+	}
+	h := p.Flow().Hash()
+	return si.active[int(h%uint64(len(si.active)))], true
+}
+
+// Route dispatches one packet of a service's traffic across the fleet
+// through the indexed fast path: the flow hashes onto a router shard
+// and two-choice runs over that shard's ready replicas.
 func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, error) {
 	c.advance(now)
 	r := c.router
-	r.sent++
+	r.freeze()
+	r.idx.mature(now)
+	si := r.idx.svc(svc)
+	s, ok := r.shardFor(si, p)
+	sh := r.shards[s]
+	if !ok {
+		sh.sent++
+		sh.dropped++
+		return Dispatch{Dropped: true}, fmt.Errorf("fleet: no live replica of %s", svc)
+	}
+	cands := si.ready[s]
+	sh.sent++
+	pick := c.pickTwoChoice(sh, cands, now)
+	n := c.byID[pick.Node]
+	p.DstIP = pick.VIP
+	queue, _, err := n.Tenants.Route(p)
+	if err != nil {
+		sh.dropped++
+		return Dispatch{Replica: pick, Node: n.ID, Dropped: true}, err
+	}
+	done, _, ok := n.Net.Ingress(now, p)
+	if !ok {
+		sh.dropped++
+		return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Dropped: true}, nil
+	}
+	if done > n.busyUntil {
+		n.busyUntil = done
+	}
+	sh.served++
+	sh.bytes += int64(p.WireBytes)
+	sh.hist.Add(done - now)
+	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
+}
+
+// routeBaseline is the pre-shard serial path: per-packet candidate
+// scan, unsharded RNG, exact sample buffer. Phase.RunBaseline drives it
+// as the before-side of the control-plane benchmark.
+func (c *Cluster) routeBaseline(now sim.Time, svc string, p *net.Packet) (Dispatch, error) {
+	c.advance(now)
+	r := c.router
+	r.base.sent++
 	cands := c.candidates(svc, now)
 	if len(cands) == 0 {
-		r.dropped++
+		r.base.dropped++
 		return Dispatch{Dropped: true}, fmt.Errorf("fleet: no live replica of %s", svc)
 	}
 	pick := cands[0]
 	if len(cands) > 1 {
-		// Power-of-two-choices on device backlog.
-		i := r.rng.Intn(len(cands))
-		j := r.rng.Intn(len(cands) - 1)
+		i := r.base.rng.Intn(len(cands))
+		j := r.base.rng.Intn(len(cands) - 1)
 		if j >= i {
 			j++
 		}
@@ -103,25 +294,22 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	}
 	n := c.byID[pick.Node]
 	p.DstIP = pick.VIP
-	// Tenant steering + isolation invariant on the chosen device.
 	queue, _, err := n.Tenants.Route(p)
 	if err != nil {
-		r.dropped++
+		r.base.dropped++
 		return Dispatch{Replica: pick, Node: n.ID, Dropped: true}, err
 	}
-	// The packet crosses the device's MAC, wrapper and ingress queue;
-	// overload tail-drops and the monitoring counts it.
 	done, _, ok := n.Net.Ingress(now, p)
 	if !ok {
-		r.dropped++
+		r.base.dropped++
 		return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Dropped: true}, nil
 	}
 	if done > n.busyUntil {
 		n.busyUntil = done
 	}
-	r.served++
-	r.bytes += int64(p.WireBytes)
-	r.lat.Add(done - now)
+	r.base.served++
+	r.base.bytes += int64(p.WireBytes)
+	r.base.lat.Add(done - now)
 	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
 }
 
@@ -131,20 +319,40 @@ type RouterSnapshot struct {
 	Bytes                 int64
 }
 
-// RouterStats reports cumulative dispatch counters.
+// RouterStats reports cumulative dispatch counters, merged across
+// shards and the baseline path.
 func (c *Cluster) RouterStats() RouterSnapshot {
-	return RouterSnapshot{
-		Sent: c.router.sent, Served: c.router.served,
-		Dropped: c.router.dropped, Bytes: c.router.bytes,
+	r := c.router
+	snap := RouterSnapshot{
+		Sent: r.base.sent, Served: r.base.served,
+		Dropped: r.base.dropped, Bytes: r.base.bytes,
 	}
+	for _, sh := range r.shards {
+		snap.Sent += sh.sent
+		snap.Served += sh.served
+		snap.Dropped += sh.dropped
+		snap.Bytes += sh.bytes
+	}
+	return snap
 }
 
-// resetWindow starts a fresh measurement window and returns the
-// previous latency collector.
-func (r *router) resetWindow() *metrics.Latencies {
-	old := r.lat
-	r.lat = &metrics.Latencies{}
-	return old
+// resetWindow starts a fresh latency measurement window on every shard
+// and the baseline path.
+func (r *router) resetWindow() {
+	for _, sh := range r.shards {
+		sh.hist.Reset()
+	}
+	r.base.lat = &metrics.Latencies{}
+}
+
+// windowHist merges the shard windows. Histogram merging is exact, so
+// the result is independent of shard processing order.
+func (r *router) windowHist() *metrics.Histogram {
+	var h metrics.Histogram
+	for _, sh := range r.shards {
+		h.Merge(&sh.hist)
+	}
+	return &h
 }
 
 // NodeStats is one device's live view for operator output.

@@ -2,7 +2,10 @@ package fleet
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"harmonia/internal/apps"
 	"harmonia/internal/metrics"
@@ -49,16 +52,32 @@ type PhaseStats struct {
 	P50, P99    sim.Time
 }
 
-// Serve runs one traffic phase of the given duration starting at the
-// cluster's current time, interleaving the periodic health monitor with
-// per-packet dispatch, and reports aggregate throughput/QPS/latency
-// over the phase via the metrics package.
-func (c *Cluster) Serve(dur sim.Time, t Traffic) (PhaseStats, error) {
+// Phase is one prepared traffic phase: the deterministic workload
+// (packet contents and arrival times) generated up front, ready to run
+// against the cluster. Preparing and running are split so the
+// control-plane benchmark can measure the serving path alone.
+type Phase struct {
+	c        *Cluster
+	t        Traffic
+	dur      sim.Time
+	pkts     []*net.Packet
+	arrivals []sim.Time
+}
+
+// Packets reports how many packets the phase offers.
+func (ph *Phase) Packets() int { return len(ph.pkts) }
+
+// Shards reports the cluster's router shard count (0 until the router
+// first freezes, i.e. before any fast-path phase has run).
+func (ph *Phase) Shards() int { return len(ph.c.router.shards) }
+
+// PreparePhase validates a traffic phase and generates its workload.
+func (c *Cluster) PreparePhase(dur sim.Time, t Traffic) (*Phase, error) {
 	if dur <= 0 || t.OfferedGbps <= 0 || t.PktBytes < net.MinFrame {
-		return PhaseStats{}, fmt.Errorf("fleet: invalid traffic phase %+v over %v", t, dur)
+		return nil, fmt.Errorf("fleet: invalid traffic phase %+v over %v", t, dur)
 	}
 	if _, ok := c.services[t.Service]; !ok {
-		return PhaseStats{}, fmt.Errorf("fleet: unknown service %q", t.Service)
+		return nil, fmt.Errorf("fleet: unknown service %q", t.Service)
 	}
 	gap := sim.Time(float64((t.PktBytes+net.FrameOverhead)*8) / t.OfferedGbps * float64(sim.Nanosecond))
 	if gap < 1 {
@@ -69,29 +88,211 @@ func (c *Cluster) Serve(dur sim.Time, t Traffic) (PhaseStats, error) {
 		Count: count, Size: t.PktBytes, Flows: t.Flows, Seed: t.Seed,
 	})
 	if err != nil {
-		return PhaseStats{}, err
+		return nil, err
 	}
 	arrivals, err := workload.Arrivals(count, gap, t.Jitter, t.Seed+1)
 	if err != nil {
+		return nil, err
+	}
+	return &Phase{c: c, t: t, dur: dur, pkts: pkts, arrivals: arrivals}, nil
+}
+
+// Serve runs one traffic phase of the given duration starting at the
+// cluster's current time, interleaving the periodic health monitor with
+// packet dispatch, and reports aggregate throughput/QPS/latency over
+// the phase via the metrics package. Dispatch runs on the sharded fast
+// path, parallelized across ServeWorkers goroutines between heartbeat
+// barriers; seeded phases are bit-reproducible regardless of worker
+// count (see Phase.Run).
+func (c *Cluster) Serve(dur sim.Time, t Traffic) (PhaseStats, error) {
+	ph, err := c.PreparePhase(dur, t)
+	if err != nil {
 		return PhaseStats{}, err
+	}
+	return ph.Run()
+}
+
+// serialQuantum is the packet count below which a quantum runs inline:
+// fanning goroutines out for a handful of packets costs more than it
+// saves, and the result is identical either way.
+const serialQuantum = 256
+
+// Run executes the phase on the sharded fast path.
+//
+// The packet timeline is cut into quanta at heartbeat ticks. Within a
+// quantum the replica set and node health are frozen (they only change
+// on the control-plane path, which runs at the barriers), so each
+// router shard — its RNG, counters, latency histogram and the nodes it
+// owns — is touched by exactly one worker, without locks. At each
+// barrier the due heartbeat cohort is probed, failovers re-place
+// replicas, and matured replicas enter the ready index.
+//
+// Determinism contract: flows hash onto shards, so each shard sees a
+// fixed packet subsequence in arrival order no matter how many workers
+// run; counters and histograms merge exactly. Aggregate PhaseStats are
+// therefore byte-identical across worker counts and GOMAXPROCS
+// settings. Only the (unobserved) wall-clock interleaving of per-packet
+// work differs; per-packet ordering is guaranteed shard-local, not
+// global. Results do depend on the shard count, which is part of the
+// seeded configuration.
+func (ph *Phase) Run() (PhaseStats, error) {
+	c := ph.c
+	r := c.router
+	r.freeze()
+	r.idx.mature(c.now)
+
+	workers := c.cfg.ServeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(r.shards) {
+		workers = len(r.shards)
 	}
 
 	start := c.now
+	end := start + ph.dur
+	before := c.RouterStats()
+	r.resetWindow()
+
+	queues := make([][]int, len(r.shards))
+	work := make([]int, 0, len(r.shards))
+	nextHB := c.nextHeartbeat
+	if nextHB == 0 {
+		nextHB = c.cfg.Heartbeat
+	}
+	at := func(k int) sim.Time { return start + ph.arrivals[k] }
+
+	i := 0
+	for i < len(ph.pkts) && at(i) <= end {
+		// Fire every heartbeat due before the next packet (a heartbeat
+		// sharing the packet's timestamp probes first, as in the serial
+		// monitor interleaving).
+		for nextHB <= at(i) {
+			c.Heartbeat(nextHB)
+			nextHB += c.cfg.Heartbeat
+		}
+		// One quantum: every packet strictly before the next barrier.
+		j := i
+		for j < len(ph.pkts) && at(j) < nextHB && at(j) <= end {
+			j++
+		}
+		ph.runQuantum(queues, &work, i, j, workers)
+		i = j
+	}
+	for nextHB <= end {
+		c.Heartbeat(nextHB)
+		nextHB += c.cfg.Heartbeat
+	}
+	c.nextHeartbeat = nextHB
+	c.advance(end)
+
+	return ph.stats(start, before, r.windowHist()), nil
+}
+
+// runQuantum partitions packets [i, j) onto shards by flow hash and
+// routes each shard's subsequence, fanning out to workers when the
+// quantum is large enough to pay for it.
+func (ph *Phase) runQuantum(queues [][]int, work *[]int, i, j, workers int) {
+	if i >= j {
+		return
+	}
+	c := ph.c
+	r := c.router
+	si := r.idx.svc(ph.t.Service)
+	active := si.active
+	for s := range queues {
+		queues[s] = queues[s][:0]
+	}
+	for k := i; k < j; k++ {
+		h := ph.pkts[k].Flow().Hash()
+		var s int
+		if len(active) > 0 {
+			s = active[int(h%uint64(len(active)))]
+		} else {
+			// Nothing can serve: spread the drops over all shards so
+			// counters stay shard-consistent.
+			s = int(h % uint64(len(queues)))
+		}
+		queues[s] = append(queues[s], k)
+	}
+	*work = (*work)[:0]
+	for s := range queues {
+		if len(queues[s]) > 0 {
+			*work = append(*work, s)
+		}
+	}
+	if workers <= 1 || len(*work) == 1 || j-i < serialQuantum {
+		for _, s := range *work {
+			ph.runShard(s, queues[s], si)
+		}
+		return
+	}
+	if workers > len(*work) {
+		workers = len(*work)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := atomic.AddInt64(&next, 1) - 1
+				if k >= int64(len(*work)) {
+					return
+				}
+				s := (*work)[k]
+				ph.runShard(s, queues[s], si)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runShard routes one shard's packet subsequence in arrival order.
+func (ph *Phase) runShard(s int, idxs []int, si *svcIndex) {
+	c := ph.c
+	sh := c.router.shards[s]
+	cands := si.ready[s]
+	start := c.now
+	for _, k := range idxs {
+		c.routeShard(sh, cands, start+ph.arrivals[k], ph.pkts[k])
+	}
+}
+
+// RunBaseline executes the phase on the pre-shard serial path: a
+// per-packet candidate scan with the monitor probing every node inline.
+// It is the before-side of the fleet3 control-plane benchmark and the
+// behavioral oracle for the fast path.
+func (ph *Phase) RunBaseline() (PhaseStats, error) {
+	c := ph.c
+	start := c.now
 	before := c.RouterStats()
 	c.router.resetWindow()
-	for i, p := range pkts {
-		at := start + arrivals[i]
-		if at > start+dur {
+	for i, p := range ph.pkts {
+		at := start + ph.arrivals[i]
+		if at > start+ph.dur {
 			break
 		}
 		// Fire every heartbeat due before this packet.
 		c.RunMonitorUntil(at)
-		_, _ = c.Route(at, t.Service, p) // drops are part of the result
+		_, _ = c.routeBaseline(at, ph.t.Service, p) // drops are part of the result
 	}
-	c.RunMonitorUntil(start + dur)
+	c.RunMonitorUntil(start + ph.dur)
+	return ph.stats(start, before, c.router.base.lat), nil
+}
 
+// percentiler is the latency window view PhaseStats needs: the sharded
+// path's merged histogram or the baseline's exact sample buffer.
+type percentiler interface {
+	Percentile(p float64) sim.Time
+}
+
+// stats assembles PhaseStats from the counter delta and the phase's
+// latency window.
+func (ph *Phase) stats(start sim.Time, before RouterSnapshot, lat percentiler) PhaseStats {
+	c := ph.c
 	after := c.RouterStats()
-	lat := c.router.resetWindow()
 	elapsed := c.now - start
 	stats := PhaseStats{
 		From: start, To: c.now,
@@ -104,7 +305,7 @@ func (c *Cluster) Serve(dur sim.Time, t Traffic) (PhaseStats, error) {
 	}
 	stats.GoodputGbps = metrics.Gbps(stats.Bytes, elapsed)
 	stats.QPS = metrics.Rate(stats.Served, elapsed)
-	return stats, nil
+	return stats
 }
 
 // compatiblePlatforms lists catalog devices able to host the service,
@@ -257,8 +458,14 @@ func KillDrill(cfg Config, appName string, n int, t Traffic) (*DrillResult, erro
 	}
 
 	// Serve through detection + reconfiguration: the router sheds load
-	// to the survivors while the monitor counts missed heartbeats.
-	detectBudget := sim.Time(cfg.FailedAfter+2)*cfg.Heartbeat + 2*cfg.ReconfigTime
+	// to the survivors while the monitor counts missed heartbeats. With
+	// cohort heartbeats the victim is only probed every C-th tick, so
+	// the detection budget scales with the cohort count.
+	cohorts := cfg.HeartbeatCohorts
+	if cohorts < 1 {
+		cohorts = 1
+	}
+	detectBudget := sim.Time((cfg.FailedAfter+2)*cohorts)*cfg.Heartbeat + 2*cfg.ReconfigTime
 	mid := t
 	mid.Seed = t.Seed + 100
 	if _, err := c.Serve(detectBudget, mid); err != nil {

@@ -14,12 +14,20 @@ import (
 
 // Latencies collects latency samples and reports summary statistics.
 type Latencies struct {
-	samples []sim.Time
-	sorted  bool
+	samples  []sim.Time
+	sorted   bool
+	min, max sim.Time
 }
 
-// Add records one sample.
+// Add records one sample. Min and Max are tracked incrementally so
+// querying them never forces a sort of the sample slice.
 func (l *Latencies) Add(t sim.Time) {
+	if len(l.samples) == 0 || t < l.min {
+		l.min = t
+	}
+	if len(l.samples) == 0 || t > l.max {
+		l.max = t
+	}
 	l.samples = append(l.samples, t)
 	l.sorted = false
 }
@@ -68,8 +76,7 @@ func (l *Latencies) Max() sim.Time {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	l.sort()
-	return l.samples[len(l.samples)-1]
+	return l.max
 }
 
 // Min reports the smallest sample.
@@ -77,8 +84,7 @@ func (l *Latencies) Min() sim.Time {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	l.sort()
-	return l.samples[0]
+	return l.min
 }
 
 // Gbps converts bytes moved over a duration into gigabits per second.

@@ -1,14 +1,15 @@
 package sim
 
-import "container/heap"
-
 // Engine is a single-threaded discrete-event scheduler. Callbacks run in
 // timestamp order; callbacks with equal timestamps run in scheduling
 // order. The engine is not safe for concurrent use: models schedule
 // follow-up events from within callbacks.
 type Engine struct {
-	now    Time
-	events eventHeap
+	now Time
+	// events is a hand-rolled binary min-heap ordered by (at, seq).
+	// Events are stored by value: scheduling costs no per-event
+	// allocation and no interface boxing on the hot simulation path.
+	events []event
 	seq    int64
 	ran    int64
 }
@@ -32,7 +33,8 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run d after the current time.
@@ -49,7 +51,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events[0]
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // release the callback for GC
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
 	e.now = ev.at
 	e.ran++
 	ev.fn()
@@ -80,26 +89,39 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *Engine) less(i, j int) bool {
+	if e.events[i].at != e.events[j].at {
+		return e.events[i].at < e.events[j].at
 	}
-	return h[i].seq < h[j].seq
+	return e.events[i].seq < e.events[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+func (e *Engine) siftDown(i int) {
+	n := len(e.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			return
+		}
+		e.events[i], e.events[least] = e.events[least], e.events[i]
+		i = least
+	}
 }

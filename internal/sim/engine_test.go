@@ -112,3 +112,22 @@ func TestEngineStepEmpty(t *testing.T) {
 		t.Error("Step() on empty engine reported true")
 	}
 }
+
+// BenchmarkEngineSchedule measures the hot scheduling path: push one
+// event into a populated heap and pop/run the earliest. Events are
+// stored by value, so a schedule costs no per-event allocation beyond
+// the amortized heap growth.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	// Keep a steady backlog so push/pop exercise a realistic heap.
+	for i := 0; i < 1024; i++ {
+		e.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+Time(i%1024)+1, fn)
+		e.Step()
+	}
+}
