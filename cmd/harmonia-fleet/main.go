@@ -3,8 +3,10 @@
 // replicas into their PR slots, and runs the operator drills —
 // the scale-out sweep (aggregate throughput vs device count), the
 // kill-a-device drill (health-driven failover with measured recovery
-// time), and the control-plane overhead bench (serial scan vs sharded
-// fast path, emitted as BENCH_fleet.json).
+// time), the control-plane overhead bench (serial scan vs sharded
+// fast path, emitted as BENCH_fleet.json), and the live-migration
+// drill (stateful LB failover with and without carrying the connection
+// table across, emitted as BENCH_migrate.json).
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	harmonia-fleet -scenario drill -devices 3 -app layer4-lb
 //	harmonia-fleet -scenario bench -nodes 100,300,1000 -json BENCH_fleet.json
 //	harmonia-fleet -scenario bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	harmonia-fleet -scenario migrate -json BENCH_migrate.json
 package main
 
 import (
@@ -44,7 +47,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
@@ -102,8 +105,10 @@ func run(w io.Writer, o options) error {
 		return runDrill(w, cfg, o.app, o.devices, traffic)
 	case "bench":
 		return runBench(w, o)
+	case "migrate":
+		return runMigrate(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill or bench)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench or migrate)", o.scenario)
 	}
 }
 
@@ -190,6 +195,57 @@ func runBench(w io.Writer, o options) error {
 		return err
 	}
 	fmt.Fprintf(w, "\nwrote %s\n", o.jsonPath)
+	return nil
+}
+
+// runMigrate runs the fleet4 live-migration drill: the same stateful-LB
+// failover cold and with the connection table carried across, judged
+// against the Maglev re-hash bound.
+func runMigrate(w io.Writer, o options) error {
+	rep, d, err := bench.FleetMigrationReport()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "live-migration drill: %s on %d devices, %d backends, killed %s\n\n",
+		rep.App, rep.Devices, rep.Backends, rep.Killed)
+	fmt.Fprintf(w, "%-10s %-12s %-11s %-12s %-9s %-10s\n",
+		"case", "established", "disrupted", "disruption", "carried", "recovery")
+	for _, p := range []bench.MigrationPoint{rep.Cold, rep.Migrated} {
+		name := "cold"
+		if p.Migrated {
+			name = "migrated"
+		}
+		fmt.Fprintf(w, "%-10s %-12d %-11d %-12.4f %-9d %-10v\n",
+			name, p.Established, p.Disrupted, p.Disruption, p.FlowsCarried, p.RecoveryTime())
+	}
+	fmt.Fprintf(w, "\nmaglev re-hash bound: %.4f (backend drain remapped this fraction)\n",
+		rep.MaglevBound)
+	fmt.Fprintf(w, "strictly fewer disrupted: %v\nwithin maglev bound:      %v\n",
+		rep.StrictlyFewer, rep.WithinBound)
+	fmt.Fprintln(w, "\nmigrations:")
+	for _, m := range d.Records {
+		mode := "snapshot"
+		if m.Live {
+			mode = "live"
+		}
+		fmt.Fprintf(w, "  %s: %s -> %s at %v (%s, %d/%d flows restored, age %v)\n",
+			m.Replica, m.From, m.To, m.At, mode, m.Restored, m.Flows, m.SnapshotAge)
+	}
+	if o.jsonPath == "" {
+		return nil
+	}
+	path := o.jsonPath
+	if path == "BENCH_fleet.json" { // the -json flag default belongs to bench
+		path = "BENCH_migrate.json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", path)
 	return nil
 }
 

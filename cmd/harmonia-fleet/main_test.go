@@ -82,6 +82,50 @@ func TestRunBench(t *testing.T) {
 	}
 }
 
+func TestRunMigrate(t *testing.T) {
+	o := opts("migrate", 0)
+	o.jsonPath = filepath.Join(t.TempDir(), "BENCH_migrate.json")
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatalf("migrate scenario: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"cold", "migrated", "maglev re-hash bound", "migrations:", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("migrate output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(o.jsonPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Cold       struct {
+			Disrupted int `json:"disrupted_flows"`
+		} `json:"cold"`
+		Migrated struct {
+			Disrupted    int `json:"disrupted_flows"`
+			FlowsCarried int `json:"flows_carried"`
+		} `json:"migrated"`
+		StrictlyFewer bool `json:"strictly_fewer"`
+		WithinBound   bool `json:"within_bound"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Experiment != "fleet4" {
+		t.Errorf("experiment = %q, want fleet4", rep.Experiment)
+	}
+	if !rep.StrictlyFewer || !rep.WithinBound {
+		t.Errorf("gates failed: strictly_fewer=%v within_bound=%v (cold %d vs migrated %d disrupted)",
+			rep.StrictlyFewer, rep.WithinBound, rep.Cold.Disrupted, rep.Migrated.Disrupted)
+	}
+	if rep.Migrated.FlowsCarried == 0 {
+		t.Error("migrated case carried no flows")
+	}
+}
+
 func TestRunBenchBadNodes(t *testing.T) {
 	o := opts("bench", 0)
 	o.nodes = "10,zero"

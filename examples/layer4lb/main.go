@@ -110,8 +110,8 @@ func main() {
 			done = d
 		}
 	}
-	hits, misses, _ := lb.Stats()
-	fmt.Printf("flows: %d established (%d table hits, %d new)\n", lb.Connections(), hits, misses)
+	st := lb.Stats()
+	fmt.Printf("flows: %d established (%d table hits, %d new)\n", lb.Connections(), st.Hits, st.Misses)
 	for _, b := range backends {
 		fmt.Printf("  backend %v: %6d packets\n", b, perBackend[b])
 	}

@@ -1,0 +1,219 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"harmonia/internal/net"
+)
+
+// FlowTable is the stateful connection table of the Layer-4 LB: the
+// flow → backend pinning that keeps established connections on their
+// server while the Maglev pool churns underneath. It is the
+// device-resident state live migration carries across PR slots, so it
+// knows how to snapshot itself into (and restore itself from) the
+// versioned word encoding the command path's table transactions move.
+type FlowTable struct {
+	conns map[net.FlowKey]net.IPAddr
+	max   int
+	// hits/misses count lookups against established flows vs new-flow
+	// pins; tableFull counts pins refused because the table was at
+	// capacity — those flows silently lose stickiness, so the counter
+	// is the operator's only signal.
+	hits, misses, tableFull int64
+}
+
+// NewFlowTable returns an empty table bounded at max entries.
+func NewFlowTable(max int) *FlowTable {
+	return &FlowTable{conns: make(map[net.FlowKey]net.IPAddr), max: max}
+}
+
+// Len reports the established flow count.
+func (t *FlowTable) Len() int { return len(t.conns) }
+
+// Max reports the table capacity.
+func (t *FlowTable) Max() int { return t.max }
+
+// SetMax rebounds the table; existing entries stay even above the new
+// bound, only future pins are refused.
+func (t *FlowTable) SetMax(max int) { t.max = max }
+
+// Lookup finds an established flow's pinned backend, counting the hit.
+func (t *FlowTable) Lookup(k net.FlowKey) (net.IPAddr, bool) {
+	b, ok := t.conns[k]
+	if ok {
+		t.hits++
+	}
+	return b, ok
+}
+
+// Peek reads an entry without touching the counters (measurement and
+// migration use it; the datapath uses Lookup).
+func (t *FlowTable) Peek(k net.FlowKey) (net.IPAddr, bool) {
+	b, ok := t.conns[k]
+	return b, ok
+}
+
+// Pin records a new flow's backend, counting the miss. A full table
+// refuses the pin and counts it: the flow is still served but loses
+// stickiness across pool changes.
+func (t *FlowTable) Pin(k net.FlowKey, b net.IPAddr) bool {
+	t.misses++
+	if len(t.conns) >= t.max {
+		t.tableFull++
+		return false
+	}
+	t.conns[k] = b
+	return true
+}
+
+// EvictBackend removes every flow pinned to a backend and reports how
+// many were evicted — the cleanup path for a *failed* backend, whose
+// pinned flows would otherwise blackhole forever.
+func (t *FlowTable) EvictBackend(b net.IPAddr) int {
+	evicted := 0
+	for k, have := range t.conns {
+		if have == b {
+			delete(t.conns, k)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// Stats reports the table counters.
+func (t *FlowTable) Stats() (hits, misses, tableFull int64) {
+	return t.hits, t.misses, t.tableFull
+}
+
+// ConnEntry is one pinned flow in a snapshot.
+type ConnEntry struct {
+	Key     net.FlowKey
+	Backend net.IPAddr
+}
+
+// Snapshot exports the table as a deterministic (key-sorted) entry
+// list — the consistent capture the export side of migration stages.
+func (t *FlowTable) Snapshot() []ConnEntry {
+	out := make([]ConnEntry, 0, len(t.conns))
+	for k, b := range t.conns {
+		out = append(out, ConnEntry{Key: k, Backend: b})
+	}
+	sort.Slice(out, func(i, j int) bool { return lessKey(out[i].Key, out[j].Key) })
+	return out
+}
+
+// Restore replays snapshot entries into the table, respecting the
+// capacity bound; it reports how many were added and how many dropped.
+// Counters are untouched: a restore is control-plane traffic, not
+// datapath lookups.
+func (t *FlowTable) Restore(entries []ConnEntry) (added, dropped int) {
+	for _, e := range entries {
+		if _, dup := t.conns[e.Key]; !dup && len(t.conns) >= t.max {
+			dropped++
+			continue
+		}
+		t.conns[e.Key] = e.Backend
+		added++
+	}
+	return added, dropped
+}
+
+// lessKey orders flow keys by their packed wire bytes.
+func lessKey(a, b net.FlowKey) bool {
+	return packKey(a) < packKey(b)
+}
+
+// packKey packs a flow key into a comparable 13-byte-equivalent tuple.
+func packKey(k net.FlowKey) string {
+	var buf [13]byte
+	copy(buf[0:4], k.SrcIP[:])
+	copy(buf[4:8], k.DstIP[:])
+	buf[8] = k.Proto
+	binary.BigEndian.PutUint16(buf[9:11], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[11:13], k.DstPort)
+	return string(buf[:])
+}
+
+// Flow snapshot wire encoding (version 1): the word stream table-read/
+// table-write transactions carry across devices during live migration.
+//
+//	word 0: magic (16) | version (16)
+//	word 1: entry count
+//	then per entry, 5 words:
+//	  src IP, dst IP, src port (16) | dst port (16), proto, backend IP
+const (
+	flowSnapMagic       = 0x4C42 // "LB"
+	FlowSnapshotVersion = 1
+	flowSnapHeaderWords = 2
+	flowSnapEntryWords  = 5
+)
+
+// ipWord packs an IPv4 address big-endian into one word.
+func ipWord(a net.IPAddr) uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// wordIP unpacks ipWord.
+func wordIP(w uint32) net.IPAddr {
+	return net.IPAddr{byte(w >> 24), byte(w >> 16), byte(w >> 8), byte(w)}
+}
+
+// EncodeFlowSnapshot serializes entries into the versioned word stream.
+func EncodeFlowSnapshot(entries []ConnEntry) []uint32 {
+	out := make([]uint32, 0, flowSnapHeaderWords+flowSnapEntryWords*len(entries))
+	out = append(out, flowSnapMagic<<16|FlowSnapshotVersion, uint32(len(entries)))
+	for _, e := range entries {
+		out = append(out,
+			ipWord(e.Key.SrcIP),
+			ipWord(e.Key.DstIP),
+			uint32(e.Key.SrcPort)<<16|uint32(e.Key.DstPort),
+			uint32(e.Key.Proto),
+			ipWord(e.Backend),
+		)
+	}
+	return out
+}
+
+// FlowSnapshotWords validates a snapshot's header and returns the total
+// word count the stream declares — how the receive side knows when a
+// row-by-row transfer is complete.
+func FlowSnapshotWords(words []uint32) (int, error) {
+	if len(words) < flowSnapHeaderWords {
+		return 0, fmt.Errorf("apps: flow snapshot truncated before header")
+	}
+	if magic := words[0] >> 16; magic != flowSnapMagic {
+		return 0, fmt.Errorf("apps: flow snapshot bad magic %#04x", magic)
+	}
+	if v := words[0] & 0xffff; v != FlowSnapshotVersion {
+		return 0, fmt.Errorf("apps: flow snapshot version %d, want %d", v, FlowSnapshotVersion)
+	}
+	return flowSnapHeaderWords + flowSnapEntryWords*int(words[1]), nil
+}
+
+// DecodeFlowSnapshot parses the versioned word stream back into
+// entries, validating magic, version and length.
+func DecodeFlowSnapshot(words []uint32) ([]ConnEntry, error) {
+	want, err := FlowSnapshotWords(words)
+	if err != nil {
+		return nil, err
+	}
+	if len(words) != want {
+		return nil, fmt.Errorf("apps: flow snapshot has %d words, header declares %d", len(words), want)
+	}
+	entries := make([]ConnEntry, 0, words[1])
+	for i := flowSnapHeaderWords; i < want; i += flowSnapEntryWords {
+		entries = append(entries, ConnEntry{
+			Key: net.FlowKey{
+				SrcIP:   wordIP(words[i]),
+				DstIP:   wordIP(words[i+1]),
+				SrcPort: uint16(words[i+2] >> 16),
+				DstPort: uint16(words[i+2]),
+				Proto:   uint8(words[i+3]),
+			},
+			Backend: wordIP(words[i+4]),
+		})
+	}
+	return entries, nil
+}

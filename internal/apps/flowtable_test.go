@@ -1,0 +1,130 @@
+package apps
+
+import (
+	"testing"
+
+	"harmonia/internal/net"
+)
+
+func ftKey(port uint16) net.FlowKey {
+	return net.FlowKey{
+		SrcIP: net.IPv4(1, 2, 3, 4), DstIP: net.IPv4(20, 0, 0, 1),
+		Proto: net.ProtoTCP, SrcPort: port, DstPort: 80,
+	}
+}
+
+func TestFlowTableFullCountsAndRefuses(t *testing.T) {
+	ft := NewFlowTable(2)
+	b := net.IPv4(10, 0, 0, 1)
+	if !ft.Pin(ftKey(1), b) || !ft.Pin(ftKey(2), b) {
+		t.Fatal("pins under capacity refused")
+	}
+	if ft.Pin(ftKey(3), b) {
+		t.Error("pin accepted beyond capacity")
+	}
+	if _, ok := ft.Peek(ftKey(3)); ok {
+		t.Error("refused pin is present")
+	}
+	// Established flows keep working at capacity.
+	if _, ok := ft.Lookup(ftKey(1)); !ok {
+		t.Error("established flow lost at capacity")
+	}
+	hits, misses, full := ft.Stats()
+	if hits != 1 || misses != 3 || full != 1 {
+		t.Errorf("stats hits=%d misses=%d tableFull=%d, want 1/3/1", hits, misses, full)
+	}
+}
+
+func TestFlowTableEvictBackend(t *testing.T) {
+	ft := NewFlowTable(100)
+	dead, live := net.IPv4(10, 0, 0, 1), net.IPv4(10, 0, 0, 2)
+	for port := uint16(1); port <= 10; port++ {
+		b := live
+		if port%2 == 0 {
+			b = dead
+		}
+		ft.Pin(ftKey(port), b)
+	}
+	if got := ft.EvictBackend(dead); got != 5 {
+		t.Fatalf("evicted %d flows, want 5", got)
+	}
+	if ft.Len() != 5 {
+		t.Errorf("table holds %d flows after eviction, want 5", ft.Len())
+	}
+	for port := uint16(1); port <= 10; port++ {
+		_, ok := ft.Peek(ftKey(port))
+		if want := port%2 == 1; ok != want {
+			t.Errorf("flow %d present=%v, want %v", port, ok, want)
+		}
+	}
+}
+
+func TestFlowSnapshotRoundTrip(t *testing.T) {
+	ft := NewFlowTable(100)
+	for port := uint16(1); port <= 7; port++ {
+		ft.Pin(ftKey(port), net.IPv4(10, 0, 0, byte(port%3+1)))
+	}
+	snap := ft.Snapshot()
+	if len(snap) != 7 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	// Deterministic export: two captures agree entry for entry.
+	again := ft.Snapshot()
+	for i := range snap {
+		if snap[i] != again[i] {
+			t.Fatalf("snapshot order unstable at %d", i)
+		}
+	}
+	words := EncodeFlowSnapshot(snap)
+	if want, err := FlowSnapshotWords(words); err != nil || want != len(words) {
+		t.Fatalf("declared %d words (err %v), encoded %d", want, err, len(words))
+	}
+	entries, err := DecodeFlowSnapshot(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewFlowTable(100)
+	added, dropped := dst.Restore(entries)
+	if added != 7 || dropped != 0 {
+		t.Fatalf("restore added %d dropped %d", added, dropped)
+	}
+	for _, e := range snap {
+		b, ok := dst.Peek(e.Key)
+		if !ok || b != e.Backend {
+			t.Errorf("flow %v: got %v/%v, want %v", e.Key, b, ok, e.Backend)
+		}
+	}
+}
+
+func TestFlowSnapshotRestoreRespectsCapacity(t *testing.T) {
+	src := NewFlowTable(10)
+	for port := uint16(1); port <= 5; port++ {
+		src.Pin(ftKey(port), net.IPv4(10, 0, 0, 1))
+	}
+	dst := NewFlowTable(3)
+	added, dropped := dst.Restore(src.Snapshot())
+	if added != 3 || dropped != 2 {
+		t.Errorf("restore into small table: added %d dropped %d, want 3/2", added, dropped)
+	}
+}
+
+func TestFlowSnapshotDecodeRejectsCorruption(t *testing.T) {
+	words := EncodeFlowSnapshot([]ConnEntry{{Key: ftKey(1), Backend: net.IPv4(10, 0, 0, 1)}})
+
+	if _, err := DecodeFlowSnapshot(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := DecodeFlowSnapshot(words[:len(words)-1]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	bad := append([]uint32(nil), words...)
+	bad[0] = 0xDEAD<<16 | FlowSnapshotVersion
+	if _, err := DecodeFlowSnapshot(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]uint32(nil), words...)
+	bad[0] = flowSnapMagic<<16 | (FlowSnapshotVersion + 1)
+	if _, err := DecodeFlowSnapshot(bad); err == nil {
+		t.Error("future version accepted")
+	}
+}

@@ -36,14 +36,11 @@ func Layer4LBInfo() Info {
 // stateful connection table pinning established flows, and consistent
 // hashing for new flows.
 type Layer4LB struct {
-	Net      *rbb.NetworkRBB
-	clk      *sim.Clock
-	pools    map[net.IPAddr]*Maglev
-	conns    map[net.FlowKey]net.IPAddr
-	hits     int64
-	misses   int64
-	noVIP    int64
-	maxConns int
+	Net   *rbb.NetworkRBB
+	clk   *sim.Clock
+	pools map[net.IPAddr]*Maglev
+	flows *FlowTable
+	noVIP int64
 }
 
 // NewLayer4LB builds the LB on a vendor's 100G Network RBB.
@@ -58,11 +55,10 @@ func NewLayer4LB(vendor platform.Vendor, harmonia bool) (*Layer4LB, error) {
 	n.Director.AddTenant(0, 0, 64)
 	n.Director.SetDefaultTenant(0)
 	return &Layer4LB{
-		Net:      n,
-		clk:      clk,
-		pools:    make(map[net.IPAddr]*Maglev),
-		conns:    make(map[net.FlowKey]net.IPAddr),
-		maxConns: 1 << 20,
+		Net:   n,
+		clk:   clk,
+		pools: make(map[net.IPAddr]*Maglev),
+		flows: NewFlowTable(1 << 20),
 	}, nil
 }
 
@@ -82,7 +78,10 @@ func (lb *Layer4LB) AddVIP(vip net.IPAddr, backends []net.IPAddr) error {
 
 // RemoveBackend drains a backend from a VIP's pool, rebuilding the
 // Maglev table; established flows keep their pinned backend
-// (statefulness) and most new-flow mappings stay put (consistency).
+// (statefulness, so draining connections finish on the old server) and
+// most new-flow mappings stay put (consistency). For a backend that
+// *failed* use FailBackend instead: a dead server's pinned flows must
+// be evicted, not drained.
 func (lb *Layer4LB) RemoveBackend(vip, backend net.IPAddr) error {
 	pool, ok := lb.pools[vip]
 	if !ok {
@@ -105,6 +104,17 @@ func (lb *Layer4LB) RemoveBackend(vip, backend net.IPAddr) error {
 	return nil
 }
 
+// FailBackend removes a dead backend from a VIP's pool and evicts its
+// connection-table entries, so its flows re-hash onto live servers
+// instead of blackholing on pins to a corpse. It reports how many
+// established flows were evicted.
+func (lb *Layer4LB) FailBackend(vip, backend net.IPAddr) (evicted int, err error) {
+	if err := lb.RemoveBackend(vip, backend); err != nil {
+		return 0, err
+	}
+	return lb.flows.EvictBackend(backend), nil
+}
+
 // Process load-balances one packet: ingress, connection-table lookup,
 // backend selection for new flows, egress toward the chosen backend.
 func (lb *Layer4LB) Process(now sim.Time, p *net.Packet) (backend net.IPAddr, done sim.Time, ok bool) {
@@ -115,8 +125,7 @@ func (lb *Layer4LB) Process(now sim.Time, p *net.Packet) (backend net.IPAddr, do
 	key := p.Flow()
 	// Connection-table lookup: two role cycles (hash + table read).
 	t := in + lb.clk.CyclesTime(2)
-	if b, est := lb.conns[key]; est {
-		lb.hits++
+	if b, est := lb.flows.Lookup(key); est {
 		return b, lb.Net.Egress(t, p), true
 	}
 	pool, has := lb.pools[p.DstIP]
@@ -124,21 +133,32 @@ func (lb *Layer4LB) Process(now sim.Time, p *net.Packet) (backend net.IPAddr, do
 		lb.noVIP++
 		return net.IPAddr{}, t, false
 	}
-	lb.misses++
 	b := pool.Lookup(key)
-	if len(lb.conns) < lb.maxConns {
-		lb.conns[key] = b
-	}
+	lb.flows.Pin(key, b)
 	// New-flow insert costs three extra cycles (pool walk + insert).
 	return b, lb.Net.Egress(t+lb.clk.CyclesTime(3), p), true
 }
 
 // Connections reports the established flow count.
-func (lb *Layer4LB) Connections() int { return len(lb.conns) }
+func (lb *Layer4LB) Connections() int { return lb.flows.Len() }
 
-// Stats reports table hits, misses and unmatched-VIP drops.
-func (lb *Layer4LB) Stats() (hits, misses, noVIP int64) {
-	return lb.hits, lb.misses, lb.noVIP
+// Flows exposes the connection table — the migratable state a fleet
+// control plane snapshots and replays across devices.
+func (lb *Layer4LB) Flows() *FlowTable { return lb.flows }
+
+// LBStats is the load balancer's counter set.
+type LBStats struct {
+	// Hits and Misses count connection-table lookups against
+	// established flows vs new-flow pins; NoVIP counts packets dropped
+	// for an unknown VIP; TableFull counts pins refused at capacity —
+	// flows that silently lost stickiness.
+	Hits, Misses, NoVIP, TableFull int64
+}
+
+// Stats reports the table and drop counters.
+func (lb *Layer4LB) Stats() LBStats {
+	hits, misses, full := lb.flows.Stats()
+	return LBStats{Hits: hits, Misses: misses, NoVIP: lb.noVIP, TableFull: full}
 }
 
 // Backends lists a VIP's current pool, sorted for stable output.

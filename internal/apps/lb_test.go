@@ -50,9 +50,9 @@ func TestLBStatefulPinning(t *testing.T) {
 			t.Fatalf("flow moved from %v to %v", b1, b)
 		}
 	}
-	hits, misses, _ := lb.Stats()
-	if misses != 1 || hits != 10 {
-		t.Errorf("hits=%d misses=%d", hits, misses)
+	st := lb.Stats()
+	if st.Misses != 1 || st.Hits != 10 {
+		t.Errorf("hits=%d misses=%d", st.Hits, st.Misses)
 	}
 	if lb.Connections() != 1 {
 		t.Errorf("connections = %d", lb.Connections())
@@ -86,6 +86,67 @@ func TestLBSurvivesBackendRemoval(t *testing.T) {
 	}
 }
 
+func TestLBFailBackendEvictsPinnedFlows(t *testing.T) {
+	// Regression: RemoveBackend leaves flows pinned to the removed
+	// backend (correct for planned drains), but a *failed* backend's
+	// pins would blackhole forever. FailBackend must evict them.
+	lb := newLB(t)
+	dead, _, _ := lb.Process(0, lbPacket(6000))
+	var pinnedToDead []uint16
+	for port := uint16(6000); port < 6100; port++ {
+		if b, _, _ := lb.Process(0, lbPacket(port)); b == dead {
+			pinnedToDead = append(pinnedToDead, port)
+		}
+	}
+	before := lb.Connections()
+	evicted, err := lb.FailBackend(vip, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != len(pinnedToDead) {
+		t.Errorf("evicted %d flows, want %d", evicted, len(pinnedToDead))
+	}
+	if lb.Connections() != before-evicted {
+		t.Errorf("connections %d after eviction, want %d", lb.Connections(), before-evicted)
+	}
+	// The evicted flows re-hash onto live servers, never the corpse.
+	for _, port := range pinnedToDead {
+		b, _, ok := lb.Process(0, lbPacket(port))
+		if !ok || b == dead {
+			t.Fatalf("flow %d still lands on failed backend %v", port, b)
+		}
+	}
+	if _, err := lb.FailBackend(vip, net.IPv4(9, 9, 9, 9)); err == nil {
+		t.Error("failing unknown backend should error")
+	}
+}
+
+func TestLBFullTableCountsLostStickiness(t *testing.T) {
+	// Regression: a full connection table silently skipped the insert,
+	// so new flows lost stickiness with no signal. The tableFull
+	// counter is that signal, and service must continue.
+	lb := newLB(t)
+	lb.Flows().SetMax(4)
+	for port := uint16(1000); port < 1010; port++ {
+		if _, _, ok := lb.Process(0, lbPacket(port)); !ok {
+			t.Fatal("packet dropped at full table")
+		}
+	}
+	st := lb.Stats()
+	if st.TableFull != 6 {
+		t.Errorf("tableFull = %d, want 6 (10 new flows into 4 slots)", st.TableFull)
+	}
+	if lb.Connections() != 4 {
+		t.Errorf("connections = %d, want capacity 4", lb.Connections())
+	}
+	// Established flows keep their pins and count hits.
+	b1, _, _ := lb.Process(0, lbPacket(1000))
+	b2, _, _ := lb.Process(0, lbPacket(1000))
+	if b1 != b2 {
+		t.Error("established flow moved while table full")
+	}
+}
+
 func TestLBSpreadsFlows(t *testing.T) {
 	lb := newLB(t)
 	counts := map[net.IPAddr]int{}
@@ -113,9 +174,8 @@ func TestLBUnknownVIPDrops(t *testing.T) {
 	if _, _, ok := lb.Process(0, p); ok {
 		t.Error("packet to unknown VIP balanced")
 	}
-	_, _, noVIP := lb.Stats()
-	if noVIP != 1 {
-		t.Errorf("noVIP = %d", noVIP)
+	if st := lb.Stats(); st.NoVIP != 1 {
+		t.Errorf("noVIP = %d", st.NoVIP)
 	}
 	if err := lb.AddVIP(net.IPv4(20, 0, 0, 2), nil); err == nil {
 		t.Error("empty pool accepted")
@@ -171,15 +231,15 @@ func TestLBHeavyHitterHitRate(t *testing.T) {
 			t.Fatal("packet dropped")
 		}
 	}
-	hits, misses, _ := lb.Stats()
-	if hits+misses != 5000 {
-		t.Fatalf("hits+misses = %d", hits+misses)
+	st := lb.Stats()
+	if st.Hits+st.Misses != 5000 {
+		t.Fatalf("hits+misses = %d", st.Hits+st.Misses)
 	}
-	hitRate := float64(hits) / 5000
+	hitRate := float64(st.Hits) / 5000
 	if hitRate < 0.85 {
 		t.Errorf("connection-table hit rate %.2f under zipf traffic, want > 0.85", hitRate)
 	}
-	if lb.Connections() != int(misses) {
-		t.Errorf("connections %d != misses %d", lb.Connections(), misses)
+	if lb.Connections() != int(st.Misses) {
+		t.Errorf("connections %d != misses %d", lb.Connections(), st.Misses)
 	}
 }

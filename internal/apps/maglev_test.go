@@ -139,6 +139,68 @@ func TestMaglevLookupAlwaysInPool(t *testing.T) {
 	}
 }
 
+func TestMaglevRemovalDisruptionBoundProperty(t *testing.T) {
+	// Property: across pool sizes, removing ANY single backend disrupts
+	// at most share(removed) + ε of table entries — every entry of the
+	// removed backend must move, plus only a small consistency tax on
+	// the survivors. With even shares that is ≈ 1/N + ε.
+	const epsilon = 0.05
+	for _, n := range []int{2, 3, 5, 8, 16, 32} {
+		backends := pool(n)
+		full, err := NewMaglev(backends)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for drop := 0; drop < n; drop++ {
+			var rest []net.IPAddr
+			rest = append(rest, backends[:drop]...)
+			rest = append(rest, backends[drop+1:]...)
+			if len(rest) == 0 {
+				continue
+			}
+			reduced, err := NewMaglev(rest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := full.Disruption(reduced)
+			share := full.Share(backends[drop])
+			if d < share {
+				t.Errorf("n=%d drop=%d: disruption %.4f below removed share %.4f", n, drop, d, share)
+			}
+			if d > share+epsilon {
+				t.Errorf("n=%d drop=%d: disruption %.4f exceeds share %.4f + ε %.2f — not minimal",
+					n, drop, d, share, epsilon)
+			}
+			if d > 1.0/float64(n)+2*epsilon {
+				t.Errorf("n=%d drop=%d: disruption %.4f far above 1/N = %.4f", n, drop, d, 1.0/float64(n))
+			}
+		}
+	}
+}
+
+func TestMaglevSharesSumToOneProperty(t *testing.T) {
+	// Property: across pool sizes the table is a partition — every
+	// entry is owned by exactly one backend, so shares sum to 1.
+	for _, n := range []int{1, 2, 3, 7, 20, 100} {
+		backends := pool(n)
+		m, err := NewMaglev(backends)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, b := range backends {
+			s := m.Share(b)
+			if s <= 0 {
+				t.Errorf("n=%d: backend %v owns no entries", n, b)
+			}
+			sum += s
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			t.Errorf("n=%d: shares sum to %.12f, want 1", n, sum)
+		}
+	}
+}
+
 func TestMaglevSingleBackend(t *testing.T) {
 	m, err := NewMaglev(pool(1))
 	if err != nil {

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"harmonia/internal/fleet"
+	"harmonia/internal/sim"
+)
+
+// fleet4 — the live-migration drill. The same deterministic failover
+// (backend drained mid-run, then the most-loaded device killed) runs
+// twice: a cold restart that re-pins established flows from scratch,
+// and a migrated failover that carries the connection table to the
+// replacement over the command path. The report holds both cases next
+// to the Maglev re-hash bound so the claim — migration disrupts
+// strictly fewer flows, and no more than the pool change itself forced
+// — is machine-checkable.
+
+// migrateDevices is the fleet4 drill size: big enough for real
+// failover choices, small enough for CI's bench-smoke job.
+const migrateDevices = 3
+
+// MigrationPoint is one drill case flattened for the report.
+type MigrationPoint struct {
+	Migrated     bool    `json:"migrated"`
+	Established  int     `json:"established_flows"`
+	Disrupted    int     `json:"disrupted_flows"`
+	Disruption   float64 `json:"disruption"`
+	FlowsCarried int     `json:"flows_carried"`
+	RecoveryNs   int64   `json:"recovery_ns"`
+}
+
+// MigrationReport is the machine-readable fleet4 artifact
+// (BENCH_migrate.json).
+type MigrationReport struct {
+	Experiment string `json:"experiment"` // always "fleet4"
+	App        string `json:"app"`
+	Devices    int    `json:"devices"`
+	Backends   int    `json:"backends"`
+	Killed     string `json:"killed"`
+
+	// MaglevBound is the fraction of the consistent-hash table the
+	// mid-run backend drain remapped — the disruption floor any
+	// failover strategy is judged against.
+	MaglevBound float64 `json:"maglev_bound"`
+
+	Cold     MigrationPoint `json:"cold"`
+	Migrated MigrationPoint `json:"migrated"`
+
+	// The acceptance gates, pre-evaluated so CI can assert on the
+	// artifact without re-deriving them.
+	StrictlyFewer bool `json:"strictly_fewer"`
+	WithinBound   bool `json:"within_bound"`
+}
+
+func migrationPoint(c fleet.MigrationCase) MigrationPoint {
+	return MigrationPoint{
+		Migrated:     c.Migrated,
+		Established:  c.Established,
+		Disrupted:    c.Disrupted,
+		Disruption:   c.Disruption,
+		FlowsCarried: c.FlowsCarried,
+		RecoveryNs:   int64(c.RecoveryTime),
+	}
+}
+
+// FleetMigrationReport runs the fleet4 drill and evaluates its gates.
+func FleetMigrationReport() (*MigrationReport, *fleet.MigrationDrillResult, error) {
+	t := fleet.DefaultTraffic(cpApp)
+	d, err := fleet.MigrationDrill(fleet.DefaultConfig(), migrateDevices, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &MigrationReport{
+		Experiment:  "fleet4",
+		App:         cpApp,
+		Devices:     d.Devices,
+		Backends:    d.Backends,
+		Killed:      d.Killed,
+		MaglevBound: d.MaglevBound,
+		Cold:        migrationPoint(d.Cold),
+		Migrated:    migrationPoint(d.Migrated),
+	}
+	rep.StrictlyFewer = d.Migrated.Disrupted < d.Cold.Disrupted
+	rep.WithinBound = d.Migrated.Disruption <= d.MaglevBound
+	return rep, d, nil
+}
+
+// RecoveryTime re-exposes a point's recovery as sim.Time for printing.
+func (p MigrationPoint) RecoveryTime() sim.Time { return sim.Time(p.RecoveryNs) }

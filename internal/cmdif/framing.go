@@ -1,0 +1,50 @@
+package cmdif
+
+// Table-row framing: bulk state (a connection-table snapshot, a large
+// lookup table) moves over the command path as a sequence of TableRead/
+// TableWrite transactions, one table row per command. A TableWrite
+// payload spends two words addressing (tableID, index), so each row
+// carries at most MaxTableRowWords of state; the transfer's own framing
+// (e.g. a length-carrying header in row 0) tells the receiver when the
+// stream is complete.
+
+// MaxTableRowWords is the largest table row a single command can carry:
+// the payload budget minus the tableID and index words.
+const MaxTableRowWords = MaxPayloadWords - 2
+
+// RowsFor reports how many table rows a transfer of n words occupies.
+// Zero words need zero rows.
+func RowsFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + MaxTableRowWords - 1) / MaxTableRowWords
+}
+
+// SplitRows cuts a word stream into command-sized table rows, in order.
+// Every row but the last is exactly MaxTableRowWords long. Rows alias
+// the input slice; callers that mutate rows must copy first.
+func SplitRows(words []uint32) [][]uint32 {
+	if len(words) == 0 {
+		return nil
+	}
+	rows := make([][]uint32, 0, RowsFor(len(words)))
+	for len(words) > MaxTableRowWords {
+		rows = append(rows, words[:MaxTableRowWords])
+		words = words[MaxTableRowWords:]
+	}
+	return append(rows, words)
+}
+
+// JoinRows reassembles a row sequence into the original word stream.
+func JoinRows(rows [][]uint32) []uint32 {
+	n := 0
+	for _, r := range rows {
+		n += len(r)
+	}
+	out := make([]uint32, 0, n)
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package cmdif
+
+import "testing"
+
+func TestRowsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {-1, 0}, {1, 1},
+		{MaxTableRowWords, 1},
+		{MaxTableRowWords + 1, 2},
+		{3 * MaxTableRowWords, 3},
+		{3*MaxTableRowWords + 1, 4},
+	}
+	for _, c := range cases {
+		if got := RowsFor(c.n); got != c.want {
+			t.Errorf("RowsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, MaxTableRowWords - 1, MaxTableRowWords,
+		MaxTableRowWords + 1, 5*MaxTableRowWords + 17} {
+		words := make([]uint32, n)
+		for i := range words {
+			words[i] = uint32(i * 7)
+		}
+		rows := SplitRows(words)
+		if got := len(rows); got != RowsFor(n) {
+			t.Fatalf("n=%d: %d rows, want %d", n, got, RowsFor(n))
+		}
+		for i, r := range rows {
+			if i < len(rows)-1 && len(r) != MaxTableRowWords {
+				t.Fatalf("n=%d: interior row %d has %d words", n, i, len(r))
+			}
+			if len(r) == 0 || len(r) > MaxTableRowWords {
+				t.Fatalf("n=%d: row %d has %d words", n, i, len(r))
+			}
+		}
+		joined := JoinRows(rows)
+		if len(joined) != n {
+			t.Fatalf("n=%d: joined to %d words", n, len(joined))
+		}
+		for i := range joined {
+			if joined[i] != words[i] {
+				t.Fatalf("n=%d: word %d corrupted", n, i)
+			}
+		}
+	}
+}
+
+func TestRowsFitTableWritePayload(t *testing.T) {
+	// The invariant framing exists for: addressing words + a full row
+	// must marshal as one command.
+	row := make([]uint32, MaxTableRowWords)
+	p := New(0, 0, TableWrite, append([]uint32{1, 2}, row...)...)
+	if _, err := p.Marshal(); err != nil {
+		t.Fatalf("full row + addressing does not fit a command: %v", err)
+	}
+	over := New(0, 0, TableWrite, append([]uint32{1, 2, 3}, row...)...)
+	if _, err := over.Marshal(); err == nil {
+		t.Fatal("oversized payload accepted — MaxTableRowWords too large")
+	}
+}

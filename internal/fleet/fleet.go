@@ -86,6 +86,14 @@ type Config struct {
 	// ServeWorkers caps the goroutines Serve fans shards out to.
 	// 0 uses GOMAXPROCS. The worker count never changes results.
 	ServeWorkers int
+	// MigrateFlows carries stateful services' connection tables across
+	// failover: planned drains read the live table over the command
+	// path, dead-node failover falls back to the last periodic
+	// snapshot, and either replays into the replacement replica.
+	MigrateFlows bool
+	// SnapshotEvery is the periodic connection-table snapshot cadence,
+	// in successful heartbeat probes per node (0 = every 8th probe).
+	SnapshotEvery int
 }
 
 // DefaultConfig returns production-shaped control plane settings.
@@ -99,6 +107,8 @@ func DefaultConfig() Config {
 		QueuesPerTenant: 64,
 		ReconfigTime:    2 * sim.Millisecond,
 		Seed:            1,
+		MigrateFlows:    true,
+		SnapshotEvery:   defaultSnapshotEvery,
 	}
 }
 
@@ -118,6 +128,12 @@ type Service struct {
 	// VIPBase is the first replica's virtual IP; replica i serves
 	// VIPBase+i.
 	VIPBase net.IPAddr
+	// Stateful marks a service whose replicas pin flows to backends in
+	// a per-replica connection table (the layer-4 LB pattern). Stateful
+	// services are what flow migration protects; Backends is their
+	// initial pool.
+	Stateful bool
+	Backends []net.IPAddr
 }
 
 // AppService derives a fleet service from an application catalog entry.
@@ -142,6 +158,9 @@ type Replica struct {
 	Tenant int
 	// ReadyAt is when the replica's slot reconfiguration completes.
 	ReadyAt sim.Time
+	// flows is the replica's stateful LB state (nil for stateless
+	// services), bound to the hosting device's role control module.
+	flows *flowState
 }
 
 // Name identifies the replica, e.g. "layer4-lb/2".
@@ -170,10 +189,16 @@ type Node struct {
 	// lastTemp is the most recent heartbeat temperature (milli-degC).
 	lastTemp uint32
 	killed   bool
+	// probes counts successful heartbeat probes, pacing the periodic
+	// connection-table snapshots.
+	probes int64
 	// busyUntil is the datapath backlog horizon used for queue-depth
 	// aware routing.
 	busyUntil sim.Time
 	replicas  map[string]*Replica
+	// flows holds the stateful replicas' connection-table state, keyed
+	// by replica name.
+	flows map[string]*flowState
 	// shard is the router shard owning this node's dispatch state
 	// (assigned when the router freezes its shard layout).
 	shard int
@@ -216,6 +241,12 @@ type Cluster struct {
 	nodes    []*Node
 	byID     map[string]*Node
 	replicas []*Replica
+	// pools holds each stateful service's shared backend hash table;
+	// snapshots the periodic connection-table captures by replica name;
+	// migrations the completed flow-table transfers.
+	pools      map[string]*apps.Maglev
+	snapshots  map[string]flowSnap
+	migrations []MigrationRecord
 
 	now           sim.Time
 	nextHeartbeat sim.Time
@@ -229,13 +260,16 @@ type Cluster struct {
 func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Heartbeat <= 0 || cfg.FailedAfter <= 0 || cfg.MaxSlots <= 0 ||
 		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 ||
-		cfg.RouterShards < 0 || cfg.HeartbeatCohorts < 0 || cfg.ServeWorkers < 0 {
+		cfg.RouterShards < 0 || cfg.HeartbeatCohorts < 0 || cfg.ServeWorkers < 0 ||
+		cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("fleet: invalid config %+v", cfg)
 	}
 	c := &Cluster{
-		cfg:      cfg,
-		services: make(map[string]*Service),
-		byID:     make(map[string]*Node),
+		cfg:       cfg,
+		services:  make(map[string]*Service),
+		byID:      make(map[string]*Node),
+		pools:     make(map[string]*apps.Maglev),
+		snapshots: make(map[string]flowSnap),
 	}
 	c.router = newRouter(c, cfg.Seed)
 	return c, nil
@@ -265,6 +299,17 @@ func (c *Cluster) AddService(s Service) error {
 		return fmt.Errorf("fleet: service %q already registered", s.Name)
 	}
 	svc := s
+	if svc.Stateful {
+		if len(svc.Backends) == 0 {
+			return fmt.Errorf("fleet: stateful service %q needs backends", s.Name)
+		}
+		svc.Backends = append([]net.IPAddr(nil), s.Backends...)
+		pool, err := apps.NewMaglev(svc.Backends)
+		if err != nil {
+			return err
+		}
+		c.pools[s.Name] = pool
+	}
 	c.services[s.Name] = &svc
 	c.svcOrder = append(c.svcOrder, s.Name)
 	return nil
@@ -475,6 +520,7 @@ func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
 		slotRes: slotRes, slots: slots,
 		state:    Healthy,
 		replicas: make(map[string]*Replica),
+		flows:    make(map[string]*flowState),
 	}
 	if slots > 0 {
 		mgr, err := tenancy.NewManager(tenancy.SlotConfig{

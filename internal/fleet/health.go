@@ -14,17 +14,27 @@ import (
 // and the latency-critical irq events (thermal alarm, link down) the
 // modules raise past the command path.
 
-// Transition records one state machine step.
+// Transition records one state machine step. At is when the control
+// plane decided the transition, so the log is monotonic in At;
+// transitions with a physical completion later than the decision
+// (draining waits out slot reconfiguration) carry it in CompletedAt.
 type Transition struct {
 	At     sim.Time
 	Node   string
 	From   State
 	To     State
 	Reason string
+	// CompletedAt is when the transition's effect finished materializing
+	// (0 when instantaneous). Never earlier than At.
+	CompletedAt sim.Time
 }
 
 // String formats the transition for operator logs.
 func (t Transition) String() string {
+	if t.CompletedAt > t.At {
+		return fmt.Sprintf("%v %s: %s -> %s (%s, completes %v)",
+			t.At, t.Node, t.From, t.To, t.Reason, t.CompletedAt)
+	}
 	return fmt.Sprintf("%v %s: %s -> %s (%s)", t.At, t.Node, t.From, t.To, t.Reason)
 }
 
@@ -41,6 +51,9 @@ type FailoverReport struct {
 	// those found a new home; Unplaced could not be re-placed (capacity
 	// exhausted) and stay pending for the next Place call.
 	Moved, Replaced, Unplaced int
+	// Migrated counts connection-table flows restored into replacement
+	// replicas (0 with migration disabled or for stateless services).
+	Migrated int
 }
 
 // Recovery reports the time from fault injection to full re-placement.
@@ -63,11 +76,23 @@ func (c *Cluster) Failovers() []FailoverReport {
 
 // setState performs one transition; no-ops when the state is unchanged.
 func (c *Cluster) setState(now sim.Time, n *Node, to State, reason string) {
+	c.setStateDone(now, 0, n, to, reason)
+}
+
+// setStateDone performs one transition decided at now whose effect
+// completes at completed (0 or <= now means instantaneous). Stamping
+// decisions rather than completions keeps the Transitions log monotonic
+// even when completion (slot reconfiguration) lands far in the future.
+func (c *Cluster) setStateDone(now, completed sim.Time, n *Node, to State, reason string) {
 	if n.state == to {
 		return
 	}
+	if completed <= now {
+		completed = 0
+	}
 	c.transitions = append(c.transitions, Transition{
 		At: now, Node: n.ID, From: n.state, To: to, Reason: reason,
+		CompletedAt: completed,
 	})
 	from := n.state
 	n.state = to
@@ -131,6 +156,14 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 		if temp < c.cfg.DegradeMilliC && n.state == Degraded {
 			c.setState(now, n, Healthy, "temperature recovered")
 		}
+		// A responsive probe also refreshes the node's periodic
+		// connection-table snapshots — the state dead-node failover
+		// falls back to. A node that stops answering keeps its last
+		// capture, which is exactly the staleness the fallback carries.
+		n.probes++
+		if c.cfg.MigrateFlows && len(n.flows) > 0 && n.probes%c.snapshotEvery() == 0 {
+			c.snapshotNode(now, n)
+		}
 	}
 	return c.transitions[before:]
 }
@@ -158,7 +191,10 @@ func (c *Cluster) failNode(now sim.Time, n *Node, reason string) {
 	c.setState(now, n, Failed, reason)
 	rep := c.evacuate(now, n, reason, false)
 	c.failovers = append(c.failovers, rep)
-	c.setState(rep.RecoveredAt, n, Drained, "evacuated")
+	// The drain decision is made now; re-placement completes when the
+	// last replacement slot finishes reconfiguring, which can be far in
+	// the future — stamping that time as At would run the log backwards.
+	c.setStateDone(now, rep.RecoveredAt, n, Drained, "evacuated")
 }
 
 // DrainNode performs a planned evacuation of a live (typically
@@ -175,19 +211,25 @@ func (c *Cluster) DrainNode(now sim.Time, id string) (FailoverReport, error) {
 	c.advance(now)
 	rep := c.evacuate(c.now, n, "planned drain", true)
 	c.failovers = append(c.failovers, rep)
-	c.setState(rep.RecoveredAt, n, Drained, "evacuated")
+	c.setStateDone(c.now, rep.RecoveredAt, n, Drained, "evacuated")
 	return rep, nil
 }
 
 // evacuate moves every replica off a node. With evict set the node is
 // alive and each slot is blanked through its tenancy manager; a dead
-// node's slots are simply abandoned.
+// node's slots are simply abandoned. Stateful replicas carry their
+// connection tables: a live node's table is read out over the command
+// path before eviction, a dead node's comes from the last periodic
+// snapshot, and either replays into the replacement through TableWrite
+// commands once it is admitted.
 func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) FailoverReport {
 	rep := FailoverReport{Node: n.ID, Reason: reason, DetectedAt: now, RecoveredAt: now}
 	victims := n.Replicas()
 	rep.Moved = len(victims)
 	exclude := map[string]bool{n.ID: true}
 	for _, r := range victims {
+		flows, live, snapAt := c.flowsForMigration(n, r, evict)
+		c.detachFlowState(n, r)
 		if evict && n.Tenants != nil {
 			// Blank the slot; co-resident tenants keep running.
 			_, _ = n.Tenants.Evict(now, r.Tenant)
@@ -207,6 +249,20 @@ func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) Fai
 		rep.Replaced++
 		if r.ReadyAt > rep.RecoveredAt {
 			rep.RecoveredAt = r.ReadyAt
+		}
+		if len(flows) > 0 && r.flows != nil {
+			if err := c.writeFlowSnapshot(target, r, flows); err == nil {
+				mr := MigrationRecord{
+					Replica: r.Name(), From: n.ID, To: target.ID, At: r.ReadyAt,
+					Live:  live,
+					Flows: len(flows), Restored: r.flows.restored, Dropped: r.flows.dropped,
+				}
+				if !live {
+					mr.SnapshotAge = now - snapAt
+				}
+				c.migrations = append(c.migrations, mr)
+				rep.Migrated += r.flows.restored
+			}
 		}
 	}
 	return rep

@@ -96,6 +96,7 @@ func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
 	r.Tenant = t.ID
 	r.ReadyAt = t.ReadyAt
 	n.replicas[r.Name()] = r
+	c.attachFlowState(n, r)
 	c.router.idx.noteAdmit(r, now)
 	return nil
 }

@@ -208,6 +208,9 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 	sh.served++
 	sh.bytes += int64(p.WireBytes)
 	sh.hist.Add(done - now)
+	if pick.flows != nil {
+		pick.flows.process(p.Flow())
+	}
 }
 
 // shardFor maps a flow onto a shard holding ready replicas of the
@@ -257,6 +260,9 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	sh.served++
 	sh.bytes += int64(p.WireBytes)
 	sh.hist.Add(done - now)
+	if pick.flows != nil {
+		pick.flows.process(p.Flow())
+	}
 	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
 }
 
@@ -310,6 +316,9 @@ func (c *Cluster) routeBaseline(now sim.Time, svc string, p *net.Packet) (Dispat
 	r.base.served++
 	r.base.bytes += int64(p.WireBytes)
 	r.base.lat.Add(done - now)
+	if pick.flows != nil {
+		pick.flows.process(p.Flow())
+	}
 	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
 }
 

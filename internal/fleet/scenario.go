@@ -339,17 +339,23 @@ func BuildCluster(cfg Config, appName string, n, replicas int) (*Cluster, error)
 	if err != nil {
 		return nil, err
 	}
+	return BuildServiceCluster(cfg, AppService(info, replicas, net.IPv4(20, 0, 0, 1)), n)
+}
+
+// BuildServiceCluster commissions a heterogeneous fleet of n devices
+// hosting the given service (which may carry stateful-LB settings
+// AppService does not produce), and places its replicas.
+func BuildServiceCluster(cfg Config, svc Service, n int) (*Cluster, error) {
 	c, err := NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	svc := AppService(info, replicas, net.IPv4(20, 0, 0, 1))
 	if err := c.AddService(svc); err != nil {
 		return nil, err
 	}
 	models := compatiblePlatforms(svc)
 	if len(models) == 0 {
-		return nil, fmt.Errorf("fleet: no catalog device can host %s", appName)
+		return nil, fmt.Errorf("fleet: no catalog device can host %s", svc.Name)
 	}
 	for i := 0; i < n; i++ {
 		model := models[i%len(models)]

@@ -36,7 +36,15 @@ type Module struct {
 	// differ here (Fig. 3d) but hosts never see it.
 	initSeq []RegOp
 	tables  map[uint32]map[uint32][]uint32
-	statsFn func() []uint32
+	// Dynamic tables: live module state exposed through the ordinary
+	// TableRead/TableWrite codes. A source serves reads for one tableID
+	// from the module's running datapath (instead of the stored rows);
+	// a sink accepts writes into it. This is how bulk state — e.g. an
+	// LB connection table — migrates over the command path without a
+	// new command code.
+	tableSources map[uint32]func(index uint32) ([]uint32, bool)
+	tableSinks   map[uint32]func(index uint32, entry []uint32) error
+	statsFn      func() []uint32
 	inits   int64
 	resets  int64
 	// regOps counts register accesses the kernel performed on this
@@ -109,6 +117,33 @@ func (m *Module) Name() string { return m.name }
 
 // SetStatsFn installs the monitoring read callback.
 func (m *Module) SetStatsFn(fn func() []uint32) { m.statsFn = fn }
+
+// SetTableSource binds fn to serve TableRead for tableID from live
+// module state; a nil fn removes the binding. Sourced tables shadow any
+// stored rows with the same ID.
+func (m *Module) SetTableSource(tableID uint32, fn func(index uint32) ([]uint32, bool)) {
+	if m.tableSources == nil {
+		m.tableSources = make(map[uint32]func(uint32) ([]uint32, bool))
+	}
+	if fn == nil {
+		delete(m.tableSources, tableID)
+		return
+	}
+	m.tableSources[tableID] = fn
+}
+
+// SetTableSink binds fn to accept TableWrite for tableID into live
+// module state; a nil fn removes the binding.
+func (m *Module) SetTableSink(tableID uint32, fn func(index uint32, entry []uint32) error) {
+	if m.tableSinks == nil {
+		m.tableSinks = make(map[uint32]func(uint32, []uint32) error)
+	}
+	if fn == nil {
+		delete(m.tableSinks, tableID)
+		return
+	}
+	m.tableSinks[tableID] = fn
+}
 
 // RegWrite writes a register.
 func (m *Module) RegWrite(addr, val uint32) {
@@ -361,6 +396,12 @@ func handleTableWrite(m *Module, p *cmdif.Packet) ([]uint32, int, error) {
 	}
 	tableID, index := p.Data[0], p.Data[1]
 	entries := append([]uint32(nil), p.Data[2:]...)
+	if sink, ok := m.tableSinks[tableID]; ok {
+		if err := sink(index, entries); err != nil {
+			return nil, 1, fmt.Errorf("uck: table %d sink: %w", tableID, err)
+		}
+		return nil, len(entries) + 1, nil
+	}
 	if m.tables[tableID] == nil {
 		m.tables[tableID] = make(map[uint32][]uint32)
 	}
@@ -372,6 +413,13 @@ func handleTableWrite(m *Module, p *cmdif.Packet) ([]uint32, int, error) {
 func handleTableRead(m *Module, p *cmdif.Packet) ([]uint32, int, error) {
 	if len(p.Data) < 2 {
 		return nil, 0, fmt.Errorf("uck: table-read needs table and index")
+	}
+	if src, ok := m.tableSources[p.Data[0]]; ok {
+		entries, ok := src(p.Data[1])
+		if !ok {
+			return nil, 1, fmt.Errorf("uck: table %d index %d not present", p.Data[0], p.Data[1])
+		}
+		return entries, len(entries) + 1, nil
 	}
 	entries, ok := m.Table(p.Data[0], p.Data[1])
 	if !ok {

@@ -1,6 +1,7 @@
 package uck
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -132,6 +133,68 @@ func TestTableWriteRead(t *testing.T) {
 	}
 	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, 5)); err == nil {
 		t.Error("short table-write should fail")
+	}
+}
+
+func TestDynamicTableSourceSink(t *testing.T) {
+	// A bound source/sink serves TableRead/TableWrite from live module
+	// state — the path bulk state migration rides — shadowing stored
+	// rows with the same table ID.
+	k, m := newKernel(t)
+	const tid = 0x4C420001
+	// Pre-store a row under the same ID: the source must shadow it.
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, tid, 0, 0xdead)); err != nil {
+		t.Fatal(err)
+	}
+	live := map[uint32][]uint32{0: {0x11, 0x22}, 1: {0x33}}
+	var sunk [][]uint32
+	m.SetTableSource(tid, func(index uint32) ([]uint32, bool) {
+		e, ok := live[index]
+		return e, ok
+	})
+	m.SetTableSink(tid, func(index uint32, entry []uint32) error {
+		if index == 99 {
+			return fmt.Errorf("bad row")
+		}
+		sunk = append(sunk, entry)
+		return nil
+	})
+
+	resp, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableRead, tid, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 2 || resp.Data[0] != 0x11 {
+		t.Errorf("sourced read = %v, want live state not stored row", resp.Data)
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableRead, tid, 7)); err == nil {
+		t.Error("missing sourced index should fail")
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, tid, 0, 0x55, 0x66)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 1 || len(sunk[0]) != 2 || sunk[0][1] != 0x66 {
+		t.Errorf("sink saw %v", sunk)
+	}
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, tid, 99, 0x1)); err == nil {
+		t.Error("sink error should propagate")
+	}
+	// Other table IDs still use stored rows.
+	if _, _, err := k.Execute(0, cmdif.New(1, 0, cmdif.TableWrite, 5, 1, 0x77)); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := m.Table(5, 1); !ok || e[0] != 0x77 {
+		t.Error("stored tables broken by dynamic binding")
+	}
+	// Unbinding restores the stored row.
+	m.SetTableSource(tid, nil)
+	m.SetTableSink(tid, nil)
+	resp, _, err = k.Execute(0, cmdif.New(1, 0, cmdif.TableRead, tid, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Data) != 1 || resp.Data[0] != 0xdead {
+		t.Errorf("after unbind read = %v, want stored row", resp.Data)
 	}
 }
 

@@ -70,12 +70,12 @@ func TestSoakLBUnderChurn(t *testing.T) {
 			}
 		}
 	}
-	hits, misses, noVIP := lb.Stats()
-	if hits+misses != 100_000 || noVIP != 0 {
-		t.Errorf("counters: hits=%d misses=%d noVIP=%d", hits, misses, noVIP)
+	st := lb.Stats()
+	if st.Hits+st.Misses != 100_000 || st.NoVIP != 0 {
+		t.Errorf("counters: hits=%d misses=%d noVIP=%d", st.Hits, st.Misses, st.NoVIP)
 	}
-	if lb.Connections() != int(misses) {
-		t.Errorf("connections %d != misses %d", lb.Connections(), misses)
+	if lb.Connections() != int(st.Misses) {
+		t.Errorf("connections %d != misses %d", lb.Connections(), st.Misses)
 	}
 }
 
