@@ -6,7 +6,10 @@
 // time), the control-plane overhead bench (serial scan vs sharded
 // fast path, emitted as BENCH_fleet.json), and the live-migration
 // drill (stateful LB failover with and without carrying the connection
-// table across, emitted as BENCH_migrate.json).
+// table across, emitted as BENCH_migrate.json), and the failure-storm
+// chaos drill (one seeded injection schedule replayed unbudgeted vs
+// budgeted and static vs derived shedding, emitted as
+// BENCH_chaos.json).
 //
 // Usage:
 //
@@ -15,6 +18,7 @@
 //	harmonia-fleet -scenario bench -nodes 100,300,1000 -json BENCH_fleet.json
 //	harmonia-fleet -scenario bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	harmonia-fleet -scenario migrate -json BENCH_migrate.json
+//	harmonia-fleet -scenario chaos -devices 300 -seed 11 -budget 8
 package main
 
 import (
@@ -40,6 +44,7 @@ type options struct {
 	devices  int
 	gbps     float64
 	seed     int64
+	budget   int // chaos: concurrent PR-load cap
 	// bench scenario only.
 	nodes    string // comma-separated fleet sizes
 	jsonPath string // where to write the machine-readable report
@@ -47,16 +52,32 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
 	flag.Int64Var(&o.seed, "seed", 7, "workload and router seed")
+	flag.IntVar(&o.budget, "budget", 8, "chaos: concurrent PR-load cap for the budgeted cases")
 	flag.StringVar(&o.nodes, "nodes", "", "bench: comma-separated fleet sizes (default 100,300,1000)")
 	flag.StringVar(&o.jsonPath, "json", "BENCH_fleet.json", "bench: report path (empty to skip)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// The generic -devices default (4) suits scale/drill; the chaos
+	// drill's tentpole configuration is the 300-node storm. Only an
+	// explicit -devices overrides it.
+	if o.scenario == "chaos" {
+		devicesGiven := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "devices" {
+				devicesGiven = true
+			}
+		})
+		if !devicesGiven {
+			o.devices = 0
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -107,8 +128,10 @@ func run(w io.Writer, o options) error {
 		return runBench(w, o)
 	case "migrate":
 		return runMigrate(w, o)
+	case "chaos":
+		return runChaos(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill, bench or migrate)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate or chaos)", o.scenario)
 	}
 }
 
@@ -172,7 +195,7 @@ func runBench(w io.Writer, o options) error {
 		return err
 	}
 	fmt.Fprintf(w, "control-plane overhead: %s, %.0f Gbps/node, %v phase\n\n",
-		rep.App, rep.GbpsPerNode, sim.Time(rep.PhaseNs))
+		rep.App, rep.GbpsPerNode, sim.Time(rep.PhasePs))
 	fmt.Fprintf(w, "%-7s %-7s %-8s %-9s %-13s %-13s %-12s %-12s %-9s %-9s\n",
 		"nodes", "shards", "cohorts", "packets",
 		"base-ns/pkt", "fast-ns/pkt", "base-allocs", "fast-allocs",
@@ -246,6 +269,55 @@ func runMigrate(w io.Writer, o options) error {
 		return err
 	}
 	fmt.Fprintf(w, "\nwrote %s\n", path)
+	return nil
+}
+
+// runChaos runs the fleet5 failure-storm drill: one seeded injection
+// schedule replayed against three fleets (unbudgeted/static,
+// budgeted/static, budgeted/derived-shedding), gated on the PR-load
+// budget holding, the unbudgeted fleet exceeding it, and derived
+// shedding keeping packets off alarmed nodes.
+func runChaos(w io.Writer, o options) error {
+	opts := fleet.DefaultChaosOptions()
+	if o.devices > 0 {
+		opts.Devices = o.devices
+	}
+	opts.Budget = o.budget
+	opts.Seed = o.seed
+	rep, d, err := bench.FleetChaosReport(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "failure-storm drill: %s on %d devices, rack size %d, seed %d, budget %d\n",
+		rep.App, rep.Devices, rep.RackSize, rep.Seed, rep.Budget)
+	fmt.Fprintf(w, "storm: %d injections over [%v, %v]\n\n",
+		len(rep.Injections), d.StormStart, d.StormEnd)
+	fmt.Fprintf(w, "%-18s %-13s %-10s %-8s %-9s %-10s %-11s %-11s %-8s\n",
+		"case", "availability", "peak-load", "queued", "failures", "failovers", "p99-recov", "disruption", "alarmed")
+	for _, c := range rep.Cases {
+		fmt.Fprintf(w, "%-18s %-13.4f %-10d %-8d %-9d %-10d %-11v %-11.4f %-8d\n",
+			c.Name, c.Availability, c.PeakConcurrentLoads, c.LoadsQueued, c.LoadFailures,
+			c.Failovers, sim.Time(c.P99RecoveryPs), c.Disruption, c.AlarmedNodePackets)
+	}
+	fmt.Fprintf(w, "\nbudget bounded:         %v\nunbudgeted exceeds:     %v\nno traffic after alarm: %v\n",
+		rep.BudgetBounded, rep.UnbudgetedExceeds, rep.NoTrafficAfterAlarm)
+	path := o.jsonPath
+	if path == "BENCH_fleet.json" { // the -json flag default belongs to bench
+		path = "BENCH_chaos.json"
+	}
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	if !rep.Gates() {
+		return fmt.Errorf("chaos gates failed; reproduce with: %s", rep.Repro)
+	}
 	return nil
 }
 

@@ -148,3 +148,62 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown app accepted")
 	}
 }
+
+func TestRunChaos(t *testing.T) {
+	// A small storm keeps the smoke test fast; the tentpole 300-node
+	// drill runs in CI's bench-smoke job.
+	o := opts("chaos", 24)
+	o.seed = 11
+	o.budget = 2
+	o.jsonPath = filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatalf("chaos scenario: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"unbudgeted-static", "budgeted-static", "budgeted-derived",
+		"budget bounded:         true", "unbudgeted exceeds:     true",
+		"no traffic after alarm: true", "wrote"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(o.jsonPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Repro      string `json:"repro"`
+		Cases      []struct {
+			Name                string `json:"name"`
+			Budgeted            bool   `json:"budgeted"`
+			PeakConcurrentLoads int    `json:"peak_concurrent_loads"`
+			AlarmedNodePackets  int64  `json:"alarmed_node_packets"`
+		} `json:"cases"`
+		BudgetBounded       bool `json:"budget_bounded"`
+		UnbudgetedExceeds   bool `json:"unbudgeted_exceeds"`
+		NoTrafficAfterAlarm bool `json:"no_traffic_after_alarm"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Experiment != "fleet5" || len(rep.Cases) != 3 {
+		t.Fatalf("report = %+v, want fleet5 with 3 cases", rep)
+	}
+	if !rep.BudgetBounded || !rep.UnbudgetedExceeds || !rep.NoTrafficAfterAlarm {
+		t.Errorf("gates failed: bounded=%v exceeds=%v no-alarm-traffic=%v",
+			rep.BudgetBounded, rep.UnbudgetedExceeds, rep.NoTrafficAfterAlarm)
+	}
+	if !strings.Contains(rep.Repro, "-scenario chaos") || !strings.Contains(rep.Repro, "-seed 11") {
+		t.Errorf("repro line %q does not rebuild the run", rep.Repro)
+	}
+}
+
+func TestRunChaosBadBudget(t *testing.T) {
+	o := opts("chaos", 24)
+	o.budget = 0
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

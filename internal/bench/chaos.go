@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+
+	"harmonia/internal/fleet"
+)
+
+// fleet5 — failure-storm survival. One seeded injection schedule
+// (rack power loss, link-flap bursts, PR bitstream load failures,
+// a thermal runaway ramp, command-packet corruption, a backend drain)
+// replays against three fleets: unbudgeted with the static degraded
+// penalty, budgeted with the static penalty, and budgeted with
+// thermal-derived shedding. The report carries the acceptance gates
+// pre-evaluated — the budget cap held, the unbudgeted fleet exceeded
+// it, and derived shedding kept packets off alarmed nodes — plus the
+// one-command repro line CI prints when a gate fails.
+
+// ChaosWindowPoint is one measurement window flattened for the report.
+type ChaosWindowPoint struct {
+	AtPs           int64   `json:"at_ps"`
+	Availability   float64 `json:"availability"`
+	Sent           int64   `json:"sent"`
+	Served         int64   `json:"served"`
+	Dropped        int64   `json:"dropped"`
+	Healthy        int     `json:"healthy"`
+	Degraded       int     `json:"degraded"`
+	Down           int     `json:"down"`
+	LoadsInflight  int     `json:"loads_inflight"`
+	LoadsQueued    int     `json:"loads_queued"`
+	RampPenalty    float64 `json:"ramp_penalty"`
+	AlarmedPackets int64   `json:"alarmed_packets"`
+}
+
+// ChaosCasePoint is one storm replay flattened for the report.
+type ChaosCasePoint struct {
+	Name            string `json:"name"`
+	Budgeted        bool   `json:"budgeted"`
+	Budget          int    `json:"budget"`
+	DerivedShedding bool   `json:"derived_shedding"`
+
+	Availability float64 `json:"availability"`
+	Sent         int64   `json:"sent"`
+	Served       int64   `json:"served"`
+	Dropped      int64   `json:"dropped"`
+
+	PeakConcurrentLoads int   `json:"peak_concurrent_loads"`
+	LoadsQueued         int   `json:"loads_queued"`
+	LoadFailures        int64 `json:"load_failures"`
+
+	Failovers     int   `json:"failovers"`
+	P99RecoveryPs int64 `json:"p99_recovery_ps"`
+	MaxRecoveryPs int64 `json:"max_recovery_ps"`
+
+	FlowsEstablished int     `json:"flows_established"`
+	FlowsDisrupted   int     `json:"flows_disrupted"`
+	Disruption       float64 `json:"disruption"`
+
+	MigrationsLive     int   `json:"migrations_live"`
+	MigrationsSnapshot int   `json:"migrations_snapshot"`
+	MaxSnapshotAgePs   int64 `json:"max_snapshot_age_ps"`
+
+	AlarmedNodePackets int64 `json:"alarmed_node_packets"`
+	Unplaced           int   `json:"unplaced"`
+
+	CmdIssued  int64 `json:"cmd_issued"`
+	CmdRetries int64 `json:"cmd_retries"`
+	CmdDrops   int64 `json:"cmd_drops"`
+
+	Windows []ChaosWindowPoint `json:"windows"`
+}
+
+// ChaosReport is the machine-readable fleet5 artifact
+// (BENCH_chaos.json).
+type ChaosReport struct {
+	Experiment string `json:"experiment"` // always "fleet5"
+	App        string `json:"app"`
+	Devices    int    `json:"devices"`
+	RackSize   int    `json:"rack_size"`
+	Seed       int64  `json:"seed"`
+	Budget     int    `json:"budget"`
+
+	StormStartPs int64    `json:"storm_start_ps"`
+	StormEndPs   int64    `json:"storm_end_ps"`
+	Injections   []string `json:"injections"`
+
+	Cases []ChaosCasePoint `json:"cases"`
+
+	// The acceptance gates, pre-evaluated so CI can assert on the
+	// artifact without re-deriving them:
+	//   - BudgetBounded: every budgeted case kept concurrent PR loads
+	//     at or under the configured cap;
+	//   - UnbudgetedExceeds: the unbudgeted fleet blew past that cap
+	//     during the mass failover (the budget is load-bearing);
+	//   - NoTrafficAfterAlarm: under derived shedding no packet landed
+	//     on a node during a window it spent degraded.
+	BudgetBounded       bool `json:"budget_bounded"`
+	UnbudgetedExceeds   bool `json:"unbudgeted_exceeds"`
+	NoTrafficAfterAlarm bool `json:"no_traffic_after_alarm"`
+
+	// Repro rebuilds this exact report from the seed.
+	Repro string `json:"repro"`
+}
+
+func chaosCasePoint(c fleet.ChaosCase) ChaosCasePoint {
+	p := ChaosCasePoint{
+		Name:                c.Name,
+		Budgeted:            c.Budgeted,
+		Budget:              c.Budget,
+		DerivedShedding:     c.DerivedShedding,
+		Availability:        c.Availability,
+		Sent:                c.Sent,
+		Served:              c.Served,
+		Dropped:             c.Dropped,
+		PeakConcurrentLoads: c.PeakConcurrentLoads,
+		LoadsQueued:         c.LoadsQueued,
+		LoadFailures:        c.LoadFailures,
+		Failovers:           c.Failovers,
+		P99RecoveryPs:       int64(c.P99Recovery),
+		MaxRecoveryPs:       int64(c.MaxRecovery),
+		FlowsEstablished:    c.FlowsEstablished,
+		FlowsDisrupted:      c.FlowsDisrupted,
+		Disruption:          c.Disruption,
+		MigrationsLive:      c.MigrationsLive,
+		MigrationsSnapshot:  c.MigrationsSnapshot,
+		MaxSnapshotAgePs:    int64(c.MaxSnapshotAge),
+		AlarmedNodePackets:  c.AlarmedNodePackets,
+		Unplaced:            c.Unplaced,
+		CmdIssued:           c.Cmd.Issued,
+		CmdRetries:          c.Cmd.Retries,
+		CmdDrops:            c.Cmd.Drops,
+	}
+	for _, w := range c.Windows {
+		p.Windows = append(p.Windows, ChaosWindowPoint{
+			AtPs:           int64(w.At),
+			Availability:   w.Availability,
+			Sent:           w.Sent,
+			Served:         w.Served,
+			Dropped:        w.Dropped,
+			Healthy:        w.Healthy,
+			Degraded:       w.Degraded,
+			Down:           w.Down,
+			LoadsInflight:  w.LoadsInflight,
+			LoadsQueued:    w.LoadsQueued,
+			RampPenalty:    w.RampPenalty,
+			AlarmedPackets: w.AlarmedPackets,
+		})
+	}
+	return p
+}
+
+// FleetChaosReport runs the fleet5 drill and evaluates its gates.
+func FleetChaosReport(opts fleet.ChaosOptions) (*ChaosReport, *fleet.ChaosResult, error) {
+	d, err := fleet.ChaosDrill(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &ChaosReport{
+		Experiment:   "fleet5",
+		App:          cpApp,
+		Devices:      d.Devices,
+		RackSize:     d.RackSize,
+		Seed:         d.Seed,
+		Budget:       d.Budget,
+		StormStartPs: int64(d.StormStart),
+		StormEndPs:   int64(d.StormEnd),
+		Injections:   d.Injections,
+		Repro: fmt.Sprintf("go run ./cmd/harmonia-fleet -scenario chaos -devices %d -seed %d -budget %d",
+			d.Devices, d.Seed, d.Budget),
+	}
+	rep.BudgetBounded = true
+	for _, c := range d.Cases {
+		rep.Cases = append(rep.Cases, chaosCasePoint(c))
+		switch {
+		case c.Budgeted && c.PeakConcurrentLoads > c.Budget:
+			rep.BudgetBounded = false
+		case !c.Budgeted && c.PeakConcurrentLoads > d.Budget:
+			rep.UnbudgetedExceeds = true
+		}
+		if c.DerivedShedding {
+			rep.NoTrafficAfterAlarm = c.AlarmedNodePackets == 0
+		}
+	}
+	return rep, d, nil
+}
+
+// Gates reports whether every fleet5 acceptance gate held.
+func (r *ChaosReport) Gates() bool {
+	return r.BudgetBounded && r.UnbudgetedExceeds && r.NoTrafficAfterAlarm
+}

@@ -85,7 +85,7 @@ type ControlPlanePoint struct {
 type ControlPlaneReport struct {
 	Experiment  string              `json:"experiment"`
 	App         string              `json:"app"`
-	PhaseNs     int64               `json:"phase_ns"`
+	PhasePs     int64               `json:"phase_ps"`
 	GbpsPerNode float64             `json:"gbps_per_node"`
 	Points      []ControlPlanePoint `json:"points"`
 }
@@ -203,7 +203,7 @@ func FleetControlPlaneReport(sizes []int) (*ControlPlaneReport, error) {
 	}
 	return &ControlPlaneReport{
 		Experiment: "fleet3", App: cpApp,
-		PhaseNs: int64(cpPhase), GbpsPerNode: cpGbpsPerNode,
+		PhasePs: int64(cpPhase), GbpsPerNode: cpGbpsPerNode,
 		Points: pts,
 	}, nil
 }

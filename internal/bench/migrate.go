@@ -25,7 +25,7 @@ type MigrationPoint struct {
 	Disrupted    int     `json:"disrupted_flows"`
 	Disruption   float64 `json:"disruption"`
 	FlowsCarried int     `json:"flows_carried"`
-	RecoveryNs   int64   `json:"recovery_ns"`
+	RecoveryPs   int64   `json:"recovery_ps"`
 }
 
 // MigrationReport is the machine-readable fleet4 artifact
@@ -58,7 +58,7 @@ func migrationPoint(c fleet.MigrationCase) MigrationPoint {
 		Disrupted:    c.Disrupted,
 		Disruption:   c.Disruption,
 		FlowsCarried: c.FlowsCarried,
-		RecoveryNs:   int64(c.RecoveryTime),
+		RecoveryPs:   int64(c.RecoveryTime),
 	}
 }
 
@@ -85,4 +85,4 @@ func FleetMigrationReport() (*MigrationReport, *fleet.MigrationDrillResult, erro
 }
 
 // RecoveryTime re-exposes a point's recovery as sim.Time for printing.
-func (p MigrationPoint) RecoveryTime() sim.Time { return sim.Time(p.RecoveryNs) }
+func (p MigrationPoint) RecoveryTime() sim.Time { return sim.Time(p.RecoveryPs) }

@@ -214,6 +214,15 @@ func (d *Device) SetWireFaultInjector(fn func(attempt int, buf []byte) []byte) {
 	d.driver.SetFaultInjector(fn)
 }
 
+// CmdStats reports the command-path delivery counters: commands
+// completed, checksum-triggered retransmissions, and commands dropped
+// after exhausting retries. The fleet health monitor surfaces these per
+// node — retransmissions are the early signal of a corrupting wire
+// before heartbeats are lost outright.
+func (d *Device) CmdStats() (issued, retries, drops int64) {
+	return d.driver.Issued(), d.driver.Retries(), d.driver.Drops()
+}
+
 // CheckHealth samples the board sensors (the management block's
 // periodic health monitoring) and raises irq events for violations. It
 // returns the sampled temperature.

@@ -1,0 +1,216 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"harmonia/internal/sim"
+)
+
+func TestStormDeterministic(t *testing.T) {
+	spec := DefaultStorm(300, 42)
+	a, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same spec produced different schedules")
+	}
+	c, err := Storm(DefaultStorm(300, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Injections, c.Injections) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestStormValidation(t *testing.T) {
+	if _, err := Storm(StormSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	spec := DefaultStorm(4, 1)
+	spec.RackSize = 10
+	if _, err := Storm(spec); err == nil {
+		t.Error("rack larger than fleet accepted")
+	}
+}
+
+func TestStormRackIsCorrelated(t *testing.T) {
+	spec := DefaultStorm(300, 7)
+	s, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rack) != spec.RackSize {
+		t.Fatalf("rack has %d nodes, want %d", len(s.Rack), spec.RackSize)
+	}
+	// The rack is contiguous and every kill lands inside one heartbeat
+	// window — the monitor must see a correlated burst, not a trickle.
+	for i := 1; i < len(s.Rack); i++ {
+		if s.Rack[i] != s.Rack[i-1]+1 {
+			t.Fatalf("rack not contiguous: %v", s.Rack)
+		}
+	}
+	lo := spec.Start + spec.RackAt
+	hi := lo + spec.RackWindow
+	kills := 0
+	for _, inj := range s.Injections {
+		if inj.Kind != KillNode {
+			continue
+		}
+		kills++
+		if inj.At < lo || inj.At >= hi {
+			t.Errorf("kill at %v outside window [%v,%v)", inj.At, lo, hi)
+		}
+	}
+	if kills != len(s.Rack) {
+		t.Errorf("%d kills for a %d-node rack", kills, len(s.Rack))
+	}
+}
+
+func TestStormTargetSetsDisjoint(t *testing.T) {
+	s, err := Storm(DefaultStorm(300, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]string)
+	for _, set := range []struct {
+		name  string
+		nodes []int
+	}{{"rack", s.Rack}, {"flap", s.Flapped}, {"thermal", s.Ramped}, {"corrupt", s.Corrupted}} {
+		for _, n := range set.nodes {
+			if prev, dup := seen[n]; dup {
+				t.Errorf("node %d targeted by both %s and %s", n, prev, set.name)
+			}
+			seen[n] = set.name
+		}
+	}
+	if len(s.Flapped) == 0 || len(s.Ramped) == 0 || len(s.Corrupted) == 0 {
+		t.Errorf("default storm left a family empty: flap=%d thermal=%d corrupt=%d",
+			len(s.Flapped), len(s.Ramped), len(s.Corrupted))
+	}
+}
+
+func TestStormInjectionsSorted(t *testing.T) {
+	s, err := Storm(DefaultStorm(120, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s.Injections); i++ {
+		if s.Injections[i].At < s.Injections[i-1].At {
+			t.Fatalf("injection %d at %v precedes %d at %v",
+				i, s.Injections[i].At, i-1, s.Injections[i-1].At)
+		}
+	}
+	if end := s.End(); end != s.Injections[len(s.Injections)-1].At {
+		t.Errorf("End() = %v, want last injection time", end)
+	}
+}
+
+func TestStormFlapsPairDownUp(t *testing.T) {
+	spec := DefaultStorm(300, 11)
+	s, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downs := make(map[int]int)
+	ups := make(map[int]int)
+	for _, inj := range s.Injections {
+		switch inj.Kind {
+		case LinkDown:
+			downs[inj.Node]++
+		case LinkUp:
+			ups[inj.Node]++
+		}
+	}
+	for _, n := range s.Flapped {
+		if downs[n] != spec.Flaps || ups[n] != spec.Flaps {
+			t.Errorf("node %d: %d downs / %d ups, want %d each", n, downs[n], ups[n], spec.Flaps)
+		}
+	}
+}
+
+func TestThermalRampReachesAlarmThenCools(t *testing.T) {
+	spec := DefaultStorm(300, 5)
+	s, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := s.Ramped[0]
+	var last Injection
+	var peak uint32
+	for _, inj := range s.Injections {
+		if inj.Kind != ThermalSet || inj.Node != node {
+			continue
+		}
+		if inj.Arg > peak {
+			peak = inj.Arg
+		}
+		last = inj
+	}
+	// A default fleet node idles around 45°C with a 95°C degrade line:
+	// the peak offset must push it past the alarm.
+	if peak < 50_000 {
+		t.Errorf("peak thermal offset %d milli-degC cannot reach an alarm", peak)
+	}
+	if last.Arg != 0 {
+		t.Errorf("ramp never cools: final ThermalSet arg = %d", last.Arg)
+	}
+	if last.At != spec.Start+spec.ThermalCoolAt {
+		t.Errorf("cooldown at %v, want %v", last.At, spec.Start+spec.ThermalCoolAt)
+	}
+}
+
+func TestLoadFailureFnDeterministicAndOrderFree(t *testing.T) {
+	fn := LoadFailureFn(99, 0.5)
+	// Same arguments, same verdict — regardless of interleaved calls.
+	first := fn("node-03", "tenant-a", 0)
+	fn("node-07", "tenant-b", 2)
+	fn("node-03", "tenant-a", 1)
+	if fn("node-03", "tenant-a", 0) != first {
+		t.Error("verdict changed across calls with identical arguments")
+	}
+	// The failure rate tracks p.
+	fail := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if fn("node-00", "t", i) {
+			fail++
+		}
+	}
+	if frac := float64(fail) / trials; frac < 0.4 || frac > 0.6 {
+		t.Errorf("failure fraction %.3f far from p=0.5", frac)
+	}
+	if none := LoadFailureFn(99, 0); none("n", "t", 0) {
+		t.Error("p=0 produced a failure")
+	}
+}
+
+func TestStormStartOffsetsWholeSchedule(t *testing.T) {
+	spec := DefaultStorm(60, 21)
+	base, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Start = 5 * sim.Millisecond
+	late, err := Storm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Injections) != len(late.Injections) {
+		t.Fatalf("shifted storm changed injection count: %d vs %d",
+			len(base.Injections), len(late.Injections))
+	}
+	for i := range base.Injections {
+		want := base.Injections[i]
+		want.At += 5 * sim.Millisecond
+		if late.Injections[i] != want {
+			t.Fatalf("injection %d: %v, want %v", i, late.Injections[i], want)
+		}
+	}
+}

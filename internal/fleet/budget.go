@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"sort"
+
+	"harmonia/internal/sim"
+)
+
+// The cluster-wide reconfiguration budget bounds how many partial
+// bitstream loads the fleet performs concurrently. Without it a mass
+// failover models infinite bitstream-distribution bandwidth: a rack
+// power event re-places dozens of replicas and every replacement slot
+// reconfigures in parallel. Real fleets serve bitstreams from a
+// distribution tier with finite fan-out, so the budget serializes the
+// overflow: a load past the limit queues until the earliest in-flight
+// load completes, and its slot reconfiguration starts then.
+
+// LoadEvent records one budget grant for the chaos drill's queue-depth
+// series: the load was requested at ReqAt, started at Start (later when
+// the budget queued it) and held bitstream bandwidth until Done.
+type LoadEvent struct {
+	ReqAt sim.Time
+	Start sim.Time
+	Done  sim.Time
+	Node  string
+	// OK is false when the load failed every retry (no tenant admitted).
+	OK bool
+}
+
+// Queued reports whether the budget delayed this load.
+func (e LoadEvent) Queued() bool { return e.Start > e.ReqAt }
+
+// reconfigBudget is the min-heap of in-flight load completion times.
+type reconfigBudget struct {
+	// limit is the concurrent-load cap (0 = unlimited: grants are still
+	// recorded, so an unbudgeted run's true concurrency is measurable).
+	limit int
+	// inflight holds the completion times of granted loads whose slot no
+	// queued load has inherited yet, min-heap.
+	inflight []sim.Time
+	queued   int
+	events   []LoadEvent
+}
+
+// reset installs a new limit and clears history, so drill warmup
+// placements do not contaminate the storm's measurements.
+func (b *reconfigBudget) reset(limit int) {
+	b.limit = limit
+	b.inflight = b.inflight[:0]
+	b.queued = 0
+	b.events = nil
+}
+
+// acquire grants one load slot: it returns the earliest time the load
+// may start — now when under the limit, otherwise the completion time
+// of the load whose slot it inherits. Each pop hands exactly one
+// not-yet-inherited completion to exactly one queued load, so loads
+// requested on the same control-plane tick chain correctly: the heap
+// must not be pruned against the advanced start, or a completion still
+// in the future at the request time would free a slot twice.
+func (b *reconfigBudget) acquire(now sim.Time) sim.Time {
+	start := now
+	b.prune(now)
+	if b.limit > 0 {
+		for len(b.inflight) >= b.limit {
+			if done := b.pop(); done > start {
+				start = done
+			}
+		}
+	}
+	return start
+}
+
+// commit records the granted load's real span. The caller pairs every
+// acquire with exactly one commit, on the serial control-plane path.
+func (b *reconfigBudget) commit(reqAt, start, done sim.Time, node string, ok bool) {
+	if done > start {
+		b.push(done)
+	}
+	if start > reqAt {
+		b.queued++
+	}
+	b.events = append(b.events, LoadEvent{ReqAt: reqAt, Start: start, Done: done, Node: node, OK: ok})
+}
+
+// prune drops loads that completed by now.
+func (b *reconfigBudget) prune(now sim.Time) {
+	for len(b.inflight) > 0 && b.inflight[0] <= now {
+		b.pop()
+	}
+}
+
+func (b *reconfigBudget) push(done sim.Time) {
+	b.inflight = append(b.inflight, done)
+	i := len(b.inflight) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.inflight[parent] <= b.inflight[i] {
+			break
+		}
+		b.inflight[i], b.inflight[parent] = b.inflight[parent], b.inflight[i]
+		i = parent
+	}
+}
+
+func (b *reconfigBudget) pop() sim.Time {
+	top := b.inflight[0]
+	n := len(b.inflight) - 1
+	b.inflight[0] = b.inflight[n]
+	b.inflight = b.inflight[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && b.inflight[right] < b.inflight[left] {
+			least = right
+		}
+		if b.inflight[i] <= b.inflight[least] {
+			break
+		}
+		b.inflight[i], b.inflight[least] = b.inflight[least], b.inflight[i]
+		i = least
+	}
+	return top
+}
+
+// SetLoadBudget installs a fleet-wide concurrent PR-load cap (0 removes
+// it) and resets the budget's grant history and peak tracking.
+func (c *Cluster) SetLoadBudget(limit int) { c.budget.reset(limit) }
+
+// peakConcurrent sweeps the grant log and reports the maximum number of
+// load spans overlapping any instant — the ground truth the chaos drill
+// gates against the cap, reconstructed from the events rather than read
+// off the heap's internal state. A load ending exactly when another
+// starts does not overlap it (the slot was inherited).
+func peakConcurrent(events []LoadEvent) int {
+	var starts, dones []sim.Time
+	for _, e := range events {
+		if e.Done > e.Start {
+			starts = append(starts, e.Start)
+			dones = append(dones, e.Done)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+	cur, peak, d := 0, 0, 0
+	for _, s := range starts {
+		for d < len(dones) && dones[d] <= s {
+			cur--
+			d++
+		}
+		cur++
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// LoadBudgetPeak reports the highest concurrent PR-load count observed
+// since the budget was last reset — the number the chaos drill compares
+// against the configured cap.
+func (c *Cluster) LoadBudgetPeak() int { return peakConcurrent(c.budget.events) }
+
+// LoadsQueued reports how many loads the budget delayed.
+func (c *Cluster) LoadsQueued() int { return c.budget.queued }
+
+// LoadEvents returns every budget grant since the last reset, in grant
+// order.
+func (c *Cluster) LoadEvents() []LoadEvent {
+	return append([]LoadEvent(nil), c.budget.events...)
+}
+
+// LoadFailures sums injected bitstream-load failures across every
+// node's tenancy manager.
+func (c *Cluster) LoadFailures() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		if n.Tenants != nil {
+			total += n.Tenants.LoadFailures()
+		}
+	}
+	return total
+}

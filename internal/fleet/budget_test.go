@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"testing"
+
+	"harmonia/internal/sim"
+)
+
+// TestBudgetBoundsConcurrency drives acquire/commit pairs through a
+// capped budget and checks the invariant the chaos drill gates on:
+// concurrent in-flight loads never exceed the limit, and the overflow
+// queues behind the earliest completion.
+func TestBudgetBoundsConcurrency(t *testing.T) {
+	b := &reconfigBudget{limit: 2}
+	const dur = 100 * sim.Microsecond
+	// Four loads requested at the same instant: two start now, the
+	// third inherits the first completion, the fourth the second.
+	var starts []sim.Time
+	for i := 0; i < 4; i++ {
+		start := b.acquire(0)
+		b.commit(0, start, start+dur, "n", true)
+		starts = append(starts, start)
+	}
+	want := []sim.Time{0, 0, dur, dur}
+	for i, s := range starts {
+		if s != want[i] {
+			t.Fatalf("load %d started at %v, want %v (all: %v)", i, s, want[i], starts)
+		}
+	}
+	if got := peakConcurrent(b.events); got != 2 {
+		t.Errorf("peak overlap = %d, want 2 (limit held)", got)
+	}
+	if b.queued != 2 {
+		t.Errorf("queued = %d, want 2", b.queued)
+	}
+	for i, e := range b.events {
+		if got := e.Queued(); got != (i >= 2) {
+			t.Errorf("event %d Queued() = %v, want %v", i, got, i >= 2)
+		}
+	}
+}
+
+// TestBudgetUnlimitedRecordsPeak checks that a zero limit never delays
+// a load but still measures true concurrency — how the drill proves the
+// unbudgeted fleet exceeded the cap.
+func TestBudgetUnlimitedRecordsPeak(t *testing.T) {
+	b := &reconfigBudget{}
+	const dur = 50 * sim.Microsecond
+	for i := 0; i < 5; i++ {
+		start := b.acquire(0)
+		if start != 0 {
+			t.Fatalf("unlimited budget delayed load %d to %v", i, start)
+		}
+		b.commit(0, start, start+dur, "n", true)
+	}
+	if got := peakConcurrent(b.events); got != 5 {
+		t.Errorf("peak overlap = %d, want 5", got)
+	}
+	if b.queued != 0 {
+		t.Errorf("queued = %d, want 0", b.queued)
+	}
+}
+
+// TestBudgetPrunesCompletedLoads checks that a load requested after the
+// in-flight set drained starts immediately.
+func TestBudgetPrunesCompletedLoads(t *testing.T) {
+	b := &reconfigBudget{limit: 1}
+	s1 := b.acquire(0)
+	b.commit(0, s1, 10*sim.Microsecond, "a", true)
+	// Same-time request queues behind the first completion...
+	if s2 := b.acquire(0); s2 != 10*sim.Microsecond {
+		t.Fatalf("second load started at %v, want 10µs", s2)
+	} else {
+		b.commit(0, s2, s2+10*sim.Microsecond, "b", true)
+	}
+	// ...but a request after both completed starts immediately.
+	if s3 := b.acquire(30 * sim.Microsecond); s3 != 30*sim.Microsecond {
+		t.Fatalf("post-drain load started at %v, want 30µs", s3)
+	}
+}
+
+// TestBudgetResetClearsHistory checks SetLoadBudget's contract: warmup
+// grants do not contaminate the storm's peak/queue counters.
+func TestBudgetResetClearsHistory(t *testing.T) {
+	b := &reconfigBudget{}
+	for i := 0; i < 3; i++ {
+		s := b.acquire(0)
+		b.commit(0, s, 100, "n", true)
+	}
+	b.reset(2)
+	if b.limit != 2 || b.queued != 0 || len(b.events) != 0 || len(b.inflight) != 0 {
+		t.Fatalf("reset left state: %+v", b)
+	}
+	if got := peakConcurrent(b.events); got != 0 {
+		t.Errorf("peak overlap after reset = %d, want 0", got)
+	}
+}
+
+// TestBudgetZeroDurationLoadHoldsNothing checks that a failed
+// instantaneous admission (non-LoadError path) does not occupy a slot.
+func TestBudgetZeroDurationLoadHoldsNothing(t *testing.T) {
+	b := &reconfigBudget{limit: 1}
+	s := b.acquire(0)
+	b.commit(0, s, s, "n", false) // failed admission, no span
+	if got := b.acquire(0); got != 0 {
+		t.Fatalf("zero-duration load blocked the next acquire until %v", got)
+	}
+}
+
+// TestBudgetSameTickChainHoldsLimit stresses the mass-failover shape —
+// many loads requested on the same control-plane tick — and checks the
+// true span overlap never exceeds the cap (the regression a heap pruned
+// against the advanced start would reintroduce).
+func TestBudgetSameTickChainHoldsLimit(t *testing.T) {
+	b := &reconfigBudget{limit: 3}
+	for i := 0; i < 20; i++ {
+		start := b.acquire(0)
+		dur := sim.Time(i%4+1) * 10 * sim.Microsecond
+		b.commit(0, start, start+dur, "n", true)
+	}
+	if got := peakConcurrent(b.events); got > 3 {
+		t.Fatalf("true overlap %d exceeds limit 3", got)
+	}
+	if b.queued != 17 {
+		t.Errorf("queued = %d, want 17 (first 3 start immediately)", b.queued)
+	}
+}

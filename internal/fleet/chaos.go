@@ -1,0 +1,448 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/faults"
+	"harmonia/internal/net"
+	"harmonia/internal/sim"
+)
+
+// The fleet5 chaos drill drives a fleet through one seeded failure
+// storm (internal/faults) three times — unbudgeted with the static
+// degraded penalty, budgeted with the static penalty, and budgeted
+// with thermal-derived shedding — and measures what the defenses buy:
+// availability (fraction of routed packets landing on healthy
+// replicas), PR-load concurrency and queueing, recovery-time
+// distribution, flow disruption and command-path retransmissions. All
+// three cases replay the identical injection schedule, so the columns
+// are directly comparable and the whole report reproduces from one
+// seed.
+
+// chaosApp is the stateful service the drill storms.
+const chaosApp = "layer4-lb"
+
+// chaosWindowDur is the measurement window; injections due inside a
+// window are applied at its start (deterministic discretization).
+const chaosWindowDur = 100 * sim.Microsecond
+
+// chaosWindows spans the storm plus the recovery tail.
+const chaosWindows = 160
+
+// chaosWarmup is the pre-storm serving phase establishing flows.
+const chaosWarmup = 200 * sim.Microsecond
+
+// ChaosOptions shapes the fleet5 drill.
+type ChaosOptions struct {
+	// Devices is the fleet size (the tentpole configuration is 300).
+	Devices int
+	// Budget is the concurrent PR-load cap the budgeted cases enforce.
+	Budget int
+	// Seed drives the storm schedule, traffic and router sampling.
+	Seed int64
+}
+
+// DefaultChaosOptions returns the tentpole storm configuration.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{Devices: 300, Budget: 8, Seed: 11}
+}
+
+// ChaosWindow is one measurement window of a chaos case.
+type ChaosWindow struct {
+	// At is the window's end on the cluster clock.
+	At sim.Time
+	// Availability is healthy-served/sent within the window (1 when the
+	// window offered nothing).
+	Availability   float64
+	Sent           int64
+	Served         int64
+	Dropped        int64
+	Healthy        int
+	Degraded       int
+	Down           int
+	LoadsInflight  int
+	LoadsQueued    int
+	RampPenalty    float64
+	AlarmedPackets int64
+}
+
+// ChaosCase is one full storm replay under one defense configuration.
+type ChaosCase struct {
+	Name            string
+	Budgeted        bool
+	Budget          int
+	DerivedShedding bool
+
+	// Availability is healthy-served/sent over the whole storm.
+	Availability          float64
+	Sent, Served, Dropped int64
+
+	// PeakConcurrentLoads is the highest concurrent PR-load count the
+	// storm reached; the budgeted cases must keep it at or under Budget.
+	PeakConcurrentLoads int
+	LoadsQueued         int
+	LoadFailures        int64
+
+	// Failovers and the recovery distribution (detection → last
+	// replacement ready).
+	Failovers   int
+	P99Recovery sim.Time
+	MaxRecovery sim.Time
+
+	// Flow disruption: of the flows established before the storm, how
+	// many land on a different backend after it.
+	FlowsEstablished int
+	FlowsDisrupted   int
+	Disruption       float64
+
+	// Migration path split: live table reads vs periodic-snapshot
+	// fallbacks, and the stalest snapshot restored.
+	MigrationsLive     int
+	MigrationsSnapshot int
+	MaxSnapshotAge     sim.Time
+
+	// AlarmedNodePackets counts packets that landed on a node during
+	// windows it spent fully degraded (alarm fired). Derived shedding
+	// must hold this at zero; the static penalty does not.
+	AlarmedNodePackets int64
+
+	// Unplaced is how many replicas ended the storm without a home.
+	Unplaced int
+
+	Cmd     CmdPathStats
+	Windows []ChaosWindow
+}
+
+// ChaosResult is the fleet5 report.
+type ChaosResult struct {
+	Devices  int
+	RackSize int
+	Seed     int64
+	Budget   int
+	// StormStart/StormEnd bound the replayed schedule; Injections is
+	// the human-readable storm script.
+	StormStart, StormEnd sim.Time
+	Injections           []string
+	Cases                []ChaosCase
+}
+
+// chaosBackends is the drill's initial backend pool.
+func chaosBackends() []net.IPAddr {
+	out := make([]net.IPAddr, 8)
+	for i := range out {
+		out[i] = net.IPv4(10, 2, 0, byte(i+1))
+	}
+	return out
+}
+
+// chaosTraffic derives one window's deterministic traffic phase.
+func chaosTraffic(seed int64, window int) Traffic {
+	return Traffic{
+		Service: chaosApp, OfferedGbps: 400, PktBytes: 1024,
+		Flows: 2048, Jitter: 0.2,
+		Seed: seed*1_000_003 + int64(window+1)*1000,
+	}
+}
+
+// applyInjection maps one schedule entry onto control-plane actions.
+func applyInjection(c *Cluster, nodes []*Node, inj faults.Injection) error {
+	id := ""
+	if inj.Node >= 0 {
+		if inj.Node >= len(nodes) {
+			return fmt.Errorf("fleet: injection targets node %d of %d", inj.Node, len(nodes))
+		}
+		id = nodes[inj.Node].ID
+	}
+	switch inj.Kind {
+	case faults.KillNode:
+		return c.Kill(id)
+	case faults.LinkDown:
+		return c.CutLink(c.Now(), id)
+	case faults.LinkUp:
+		if err := c.Revive(c.Now(), id); err != nil {
+			return err
+		}
+		// The scheduler may re-place still-unplaced replicas onto the
+		// revived device; failure just leaves them pending.
+		_, _ = c.Place(c.Now())
+		return nil
+	case faults.ThermalSet:
+		if inj.Arg == 0 {
+			return c.Cool(id)
+		}
+		return c.Overheat(id, inj.Arg)
+	case faults.CorruptStart:
+		limit := int(inj.Arg)
+		nodes[inj.Node].Inst.SetWireFaultInjector(func(attempt int, buf []byte) []byte {
+			if attempt < limit && len(buf) > 0 {
+				buf[0] ^= 0xFF
+			}
+			return buf
+		})
+		return nil
+	case faults.CorruptEnd:
+		nodes[inj.Node].Inst.SetWireFaultInjector(nil)
+		return nil
+	case faults.PRFaultStart:
+		fn := faults.LoadFailureFn(c.cfg.Seed, inj.Prob)
+		c.SetPRLoadFault(func(node, tenant string, slot, attempt int) bool {
+			return fn(node, tenant, attempt)
+		})
+		return nil
+	case faults.PRFaultEnd:
+		c.SetPRLoadFault(nil)
+		return nil
+	case faults.DrainBackend:
+		_, err := c.RemoveBackend(chaosApp, chaosBackends()[inj.Arg], false)
+		return err
+	}
+	return fmt.Errorf("fleet: unknown injection kind %q", inj.Kind)
+}
+
+// runChaosCase replays the schedule against a fresh fleet under one
+// defense configuration.
+func runChaosCase(opts ChaosOptions, sched *faults.Schedule, name string, budgeted, derived bool) (*ChaosCase, error) {
+	cfg := DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.HeartbeatCohorts = 2
+	// The drill's windows are short relative to the production snapshot
+	// cadence; capture every other probe so dead-node fallbacks have a
+	// recent table.
+	cfg.SnapshotEvery = 2
+	cfg.DerivedShedding = derived
+	// The storm's runaway ramps 6°C every 50µs, so the default 10°C shed
+	// span would be crossed inside one measurement window; a wider span
+	// spreads the derating across several windows, making the gradual
+	// shedding observable in the penalty series.
+	cfg.ShedStartMilliC = cfg.DegradeMilliC - 40_000
+
+	info, err := apps.Lookup(chaosApp)
+	if err != nil {
+		return nil, err
+	}
+	svc := AppService(info, opts.Devices, net.IPv4(20, 0, 0, 1))
+	svc.Stateful = true
+	svc.Backends = chaosBackends()
+	c, err := BuildServiceCluster(cfg, svc, opts.Devices)
+	if err != nil {
+		return nil, err
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	if _, err := c.Serve(chaosWarmup, chaosTraffic(opts.Seed, -1)); err != nil {
+		return nil, err
+	}
+
+	// Pre-storm flow pins: the disruption measurement's ground truth.
+	pins := make(map[string][]apps.ConnEntry)
+	for _, r := range c.Replicas() {
+		if r.flows != nil {
+			pins[r.Name()] = r.flows.table.Snapshot()
+		}
+	}
+
+	// Arm the defense under test; this also resets the budget's grant
+	// history so warmup placement does not contaminate the peak.
+	limit := 0
+	if budgeted {
+		limit = opts.Budget
+	}
+	c.SetLoadBudget(limit)
+	stormStart := c.Now()
+	if stormStart != sched.Spec.Start {
+		return nil, fmt.Errorf("fleet: storm scheduled for %v but warmup ended at %v",
+			sched.Spec.Start, stormStart)
+	}
+
+	cc := &ChaosCase{Name: name, Budgeted: budgeted, Budget: limit, DerivedShedding: derived}
+	nodes := c.Nodes()
+	preStats := c.RouterStats()
+	preCmd := c.CmdPath()
+	var rampNode *Node
+	if len(sched.Ramped) > 0 {
+		rampNode = nodes[sched.Ramped[0]]
+	}
+
+	injIdx := 0
+	degradedRx := make(map[int]int64)
+	for w := 0; w < chaosWindows; w++ {
+		winEnd := stormStart + sim.Time(w+1)*chaosWindowDur
+		for injIdx < len(sched.Injections) && sched.Injections[injIdx].At < winEnd {
+			if err := applyInjection(c, nodes, sched.Injections[injIdx]); err != nil {
+				return nil, fmt.Errorf("fleet: injection %v: %w", sched.Injections[injIdx], err)
+			}
+			injIdx++
+		}
+		// Nodes fully degraded across the window: record ingress before.
+		for k := range degradedRx {
+			delete(degradedRx, k)
+		}
+		for i, n := range nodes {
+			if n.state == Degraded {
+				degradedRx[i] = n.Net.RxStats().Units
+			}
+		}
+		before := c.RouterStats()
+		if _, err := c.Serve(chaosWindowDur, chaosTraffic(opts.Seed, w)); err != nil {
+			return nil, err
+		}
+		after := c.RouterStats()
+
+		win := ChaosWindow{
+			At:      c.Now(),
+			Sent:    after.Sent - before.Sent,
+			Served:  after.Served - before.Served,
+			Dropped: after.Dropped - before.Dropped,
+		}
+		win.Availability = 1
+		if win.Sent > 0 {
+			win.Availability = float64(after.HealthyServed-before.HealthyServed) / float64(win.Sent)
+		}
+		for i, n := range nodes {
+			switch n.state {
+			case Healthy:
+				win.Healthy++
+			case Degraded:
+				win.Degraded++
+				if rx, was := degradedRx[i]; was {
+					d := n.Net.RxStats().Units - rx
+					win.AlarmedPackets += d
+					cc.AlarmedNodePackets += d
+				}
+			default:
+				win.Down++
+			}
+		}
+		if rampNode != nil {
+			win.RampPenalty = c.ThermalPenalty(rampNode.LastTemp())
+		}
+		cc.Windows = append(cc.Windows, win)
+	}
+
+	// Budget occupancy per window, reconstructed from the grant log.
+	events := c.LoadEvents()
+	for i := range cc.Windows {
+		t := cc.Windows[i].At
+		for _, e := range events {
+			switch {
+			case e.Start <= t && t < e.Done:
+				cc.Windows[i].LoadsInflight++
+			case e.ReqAt <= t && t < e.Start:
+				cc.Windows[i].LoadsQueued++
+			}
+		}
+	}
+
+	post := c.RouterStats()
+	cc.Sent = post.Sent - preStats.Sent
+	cc.Served = post.Served - preStats.Served
+	cc.Dropped = post.Dropped - preStats.Dropped
+	if cc.Sent > 0 {
+		cc.Availability = float64(post.HealthyServed-preStats.HealthyServed) / float64(cc.Sent)
+	}
+	cc.PeakConcurrentLoads = c.LoadBudgetPeak()
+	cc.LoadsQueued = c.LoadsQueued()
+	cc.LoadFailures = c.LoadFailures()
+	postCmd := c.CmdPath()
+	cc.Cmd = CmdPathStats{
+		Issued:  postCmd.Issued - preCmd.Issued,
+		Retries: postCmd.Retries - preCmd.Retries,
+		Drops:   postCmd.Drops - preCmd.Drops,
+	}
+
+	// Recovery distribution over the storm's failovers.
+	var recoveries []sim.Time
+	for _, f := range c.Failovers() {
+		if f.DetectedAt < stormStart {
+			continue
+		}
+		cc.Failovers++
+		recoveries = append(recoveries, f.RecoveredAt-f.DetectedAt)
+	}
+	sort.Slice(recoveries, func(i, j int) bool { return recoveries[i] < recoveries[j] })
+	if n := len(recoveries); n > 0 {
+		idx := (n*99 + 99) / 100
+		if idx > n {
+			idx = n
+		}
+		cc.P99Recovery = recoveries[idx-1]
+		cc.MaxRecovery = recoveries[n-1]
+	}
+
+	// Migration path split.
+	for _, m := range c.Migrations() {
+		if m.Live {
+			cc.MigrationsLive++
+		} else {
+			cc.MigrationsSnapshot++
+			if m.SnapshotAge > cc.MaxSnapshotAge {
+				cc.MaxSnapshotAge = m.SnapshotAge
+			}
+		}
+	}
+
+	// Flow disruption vs the pre-storm pins; a replica that lost its
+	// home disrupts every flow it held.
+	for _, r := range c.Replicas() {
+		entries := pins[r.Name()]
+		for _, e := range entries {
+			cc.FlowsEstablished++
+			if r.Node == "" || r.flows == nil {
+				cc.FlowsDisrupted++
+				continue
+			}
+			if r.flows.assignment(e.Key) != e.Backend {
+				cc.FlowsDisrupted++
+			}
+		}
+		if r.Node == "" {
+			cc.Unplaced++
+		}
+	}
+	if cc.FlowsEstablished > 0 {
+		cc.Disruption = float64(cc.FlowsDisrupted) / float64(cc.FlowsEstablished)
+	}
+	return cc, nil
+}
+
+// ChaosDrill runs the fleet5 experiment: one seeded storm, replayed
+// against three fleets — unbudgeted/static, budgeted/static and
+// budgeted/derived-shedding.
+func ChaosDrill(opts ChaosOptions) (*ChaosResult, error) {
+	if opts.Devices < 4 {
+		return nil, fmt.Errorf("fleet: chaos drill needs at least 4 devices, got %d", opts.Devices)
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("fleet: chaos drill needs a positive budget, got %d", opts.Budget)
+	}
+	spec := faults.DefaultStorm(opts.Devices, opts.Seed)
+	spec.Start = 2*DefaultConfig().ReconfigTime + chaosWarmup
+	sched, err := faults.Storm(spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{
+		Devices: opts.Devices, RackSize: spec.RackSize,
+		Seed: opts.Seed, Budget: opts.Budget,
+		StormStart: spec.Start, StormEnd: sched.End(),
+	}
+	for _, inj := range sched.Injections {
+		res.Injections = append(res.Injections, inj.String())
+	}
+	for _, cs := range []struct {
+		name              string
+		budgeted, derived bool
+	}{
+		{"unbudgeted-static", false, false},
+		{"budgeted-static", true, false},
+		{"budgeted-derived", true, true},
+	} {
+		cc, err := runChaosCase(opts, sched, cs.name, cs.budgeted, cs.derived)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: chaos case %s: %w", cs.name, err)
+		}
+		res.Cases = append(res.Cases, *cc)
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// chaosTestOptions is a storm small enough for the unit suite but big
+// enough that the rack kill outruns a 2-load budget.
+func chaosTestOptions() ChaosOptions {
+	return ChaosOptions{Devices: 24, Budget: 2, Seed: 11}
+}
+
+// chaosOnce shares one drill run across the package's chaos tests —
+// the drill replays three full storms, so each extra run is real time.
+var chaosOnce struct {
+	sync.Once
+	res *ChaosResult
+	err error
+}
+
+func testChaosResult(t *testing.T) *ChaosResult {
+	t.Helper()
+	chaosOnce.Do(func() { chaosOnce.res, chaosOnce.err = ChaosDrill(chaosTestOptions()) })
+	if chaosOnce.err != nil {
+		t.Fatal(chaosOnce.err)
+	}
+	return chaosOnce.res
+}
+
+// TestChaosDrillGates checks the tentpole claims on one small-storm
+// run: the budgeted cases hold the concurrent PR-load cap, the
+// unbudgeted case exceeds it, and derived shedding routes nothing onto
+// a node in a window it spent alarmed.
+func TestChaosDrillGates(t *testing.T) {
+	opts := chaosTestOptions()
+	res := testChaosResult(t)
+	if len(res.Cases) != 3 {
+		t.Fatalf("got %d cases, want 3", len(res.Cases))
+	}
+	for _, c := range res.Cases {
+		if c.Sent == 0 || c.Failovers == 0 {
+			t.Errorf("%s: sent %d packets, %d failovers — the storm did not bite",
+				c.Name, c.Sent, c.Failovers)
+		}
+		if c.LoadFailures == 0 {
+			t.Errorf("%s: no injected PR-load failures", c.Name)
+		}
+		switch {
+		case c.Budgeted && c.PeakConcurrentLoads > c.Budget:
+			t.Errorf("%s: peak %d concurrent loads exceeds budget %d",
+				c.Name, c.PeakConcurrentLoads, c.Budget)
+		case !c.Budgeted && c.PeakConcurrentLoads <= opts.Budget:
+			t.Errorf("unbudgeted peak %d does not exceed the cap %d the budget enforces",
+				c.PeakConcurrentLoads, opts.Budget)
+		}
+		if c.DerivedShedding && c.AlarmedNodePackets != 0 {
+			t.Errorf("%s: %d packets landed on alarmed nodes", c.Name, c.AlarmedNodePackets)
+		}
+		if !c.DerivedShedding && c.AlarmedNodePackets == 0 {
+			t.Errorf("%s: static penalty kept all traffic off alarmed nodes — the contrast is empty", c.Name)
+		}
+	}
+	if !res.Cases[1].Budgeted || res.Cases[1].LoadsQueued == 0 {
+		t.Errorf("budgeted case queued no loads (peak %d)", res.Cases[1].PeakConcurrentLoads)
+	}
+}
+
+// TestChaosDrillDeterministic re-runs the drill from the same seed and
+// requires a byte-identical report — the reproducibility contract the
+// CI artifact and the printed repro line rely on.
+func TestChaosDrillDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full drill run")
+	}
+	res := testChaosResult(t)
+	again, err := ChaosDrill(chaosTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two drills from the same seed produced different reports")
+	}
+}
+
+// TestChaosDrillValidation rejects configurations the storm cannot run.
+func TestChaosDrillValidation(t *testing.T) {
+	if _, err := ChaosDrill(ChaosOptions{Devices: 2, Budget: 2, Seed: 1}); err == nil {
+		t.Error("2-device storm accepted")
+	}
+	if _, err := ChaosDrill(ChaosOptions{Devices: 24, Budget: 0, Seed: 1}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+// TestDerivedSheddingGradual checks the ramp behavior: as the runaway
+// node's temperature climbs toward the alarm, the derived penalty rises
+// through intermediate values (gradual shedding) where the static
+// policy is a flat step at the alarm.
+func TestDerivedSheddingGradual(t *testing.T) {
+	res := testChaosResult(t)
+	derived := res.Cases[2]
+	if !derived.DerivedShedding {
+		t.Fatalf("case 2 is %s, want the derived-shedding case", derived.Name)
+	}
+	intermediate := map[float64]bool{}
+	sawFloor := false
+	for _, w := range derived.Windows {
+		if w.RampPenalty > 1 && w.RampPenalty < degradedPenalty {
+			intermediate[w.RampPenalty] = true
+		}
+		if w.RampPenalty >= degradedPenalty {
+			sawFloor = true
+		}
+	}
+	if len(intermediate) < 3 {
+		t.Errorf("ramp produced %d intermediate penalty levels, want >= 3 (gradual, not a step)",
+			len(intermediate))
+	}
+	if !sawFloor {
+		t.Error("ramp never reached the alarm-line penalty")
+	}
+}

@@ -94,6 +94,25 @@ type Config struct {
 	// SnapshotEvery is the periodic connection-table snapshot cadence,
 	// in successful heartbeat probes per node (0 = every 8th probe).
 	SnapshotEvery int
+	// MaxConcurrentLoads caps concurrent partial-bitstream loads
+	// fleet-wide (0 = unlimited). Mass failover past the cap queues
+	// loads behind the earliest in-flight completion; SetLoadBudget
+	// changes the cap at runtime.
+	MaxConcurrentLoads int
+	// LoadRetries bounds per-slot retries of a failed bitstream load
+	// before placement falls back to another device.
+	LoadRetries int
+	// LoadBackoff is the delay before the first load retry, doubling
+	// per attempt.
+	LoadBackoff sim.Time
+	// DerivedShedding replaces the static ×4 degraded-node routing
+	// penalty with one derived from thermal margin: cost scales with
+	// the die's modeled throttling as temperature erodes the margin to
+	// DegradeMilliC, and an alarmed (degraded) node takes no traffic.
+	DerivedShedding bool
+	// ShedStartMilliC is where the derived penalty starts growing
+	// (0 = DegradeMilliC − 10°C).
+	ShedStartMilliC uint32
 }
 
 // DefaultConfig returns production-shaped control plane settings.
@@ -109,6 +128,8 @@ func DefaultConfig() Config {
 		Seed:            1,
 		MigrateFlows:    true,
 		SnapshotEvery:   defaultSnapshotEvery,
+		LoadRetries:     2,
+		LoadBackoff:     250 * sim.Microsecond,
 	}
 }
 
@@ -254,6 +275,11 @@ type Cluster struct {
 	transitions   []Transition
 	failovers     []FailoverReport
 	router        *router
+	// budget is the fleet-wide concurrent PR-load cap and its grant log.
+	budget *reconfigBudget
+	// prLoadFault, when set, decides per-attempt bitstream load failures
+	// on every node (chaos injection).
+	prLoadFault func(node, tenant string, slot, attempt int) bool
 }
 
 // NewCluster returns an empty control plane.
@@ -261,8 +287,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Heartbeat <= 0 || cfg.FailedAfter <= 0 || cfg.MaxSlots <= 0 ||
 		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 ||
 		cfg.RouterShards < 0 || cfg.HeartbeatCohorts < 0 || cfg.ServeWorkers < 0 ||
-		cfg.SnapshotEvery < 0 {
+		cfg.SnapshotEvery < 0 || cfg.MaxConcurrentLoads < 0 ||
+		cfg.LoadRetries < 0 || cfg.LoadBackoff < 0 {
 		return nil, fmt.Errorf("fleet: invalid config %+v", cfg)
+	}
+	if cfg.ShedStartMilliC > 0 && cfg.ShedStartMilliC >= cfg.DegradeMilliC {
+		return nil, fmt.Errorf("fleet: shed start %d must be below the %d alarm threshold",
+			cfg.ShedStartMilliC, cfg.DegradeMilliC)
 	}
 	c := &Cluster{
 		cfg:       cfg,
@@ -272,6 +303,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		snapshots: make(map[string]flowSnap),
 	}
 	c.router = newRouter(c, cfg.Seed)
+	c.budget = &reconfigBudget{limit: cfg.MaxConcurrentLoads}
 	return c, nil
 }
 
@@ -528,11 +560,14 @@ func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
 			SlotRes:         slotRes,
 			ReconfigTime:    c.cfg.ReconfigTime,
 			QueuesPerTenant: c.cfg.QueuesPerTenant,
+			LoadRetries:     c.cfg.LoadRetries,
+			LoadBackoff:     c.cfg.LoadBackoff,
 		}, netRBB.Director, hostRBB)
 		if err != nil {
 			return nil, err
 		}
 		n.Tenants = mgr
+		c.wireLoadFault(n)
 	}
 	inst.OnInterrupt(func(ev device.Event) { c.onEvent(n, ev) })
 	// Nodes commissioned after the router froze its shard layout join
@@ -619,4 +654,79 @@ func (c *Cluster) Cool(id string) error {
 	}
 	n.Inst.SetThermalOffset(0)
 	return nil
+}
+
+// SetPRLoadFault installs (or, with nil, removes) the bitstream
+// load-failure injector on every node's tenancy manager, current and
+// future. The predicate must be deterministic in its arguments so
+// seeded chaos runs reproduce.
+func (c *Cluster) SetPRLoadFault(fn func(node, tenant string, slot, attempt int) bool) {
+	c.prLoadFault = fn
+	for _, n := range c.nodes {
+		c.wireLoadFault(n)
+	}
+}
+
+// wireLoadFault binds the cluster's PR-load fault predicate to one
+// node's tenancy manager.
+func (c *Cluster) wireLoadFault(n *Node) {
+	if n.Tenants == nil {
+		return
+	}
+	if c.prLoadFault == nil {
+		n.Tenants.SetLoadFault(nil)
+		return
+	}
+	id, fn := n.ID, c.prLoadFault
+	n.Tenants.SetLoadFault(func(tenant string, slot, attempt int) bool {
+		return fn(id, tenant, slot, attempt)
+	})
+}
+
+// Revive returns a drained device to service after its fault cleared
+// (link restored, power back): leftover tenancy slots from a dead-node
+// evacuation are blanked, the command wire is restored, and the node
+// rejoins the fleet Healthy and empty — the next Place or failover can
+// use it again.
+func (c *Cluster) Revive(now sim.Time, id string) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	if n.state != Drained {
+		return fmt.Errorf("fleet: node %s is %s; only drained nodes revive", id, n.state)
+	}
+	c.advance(now)
+	// A dead-node evacuation abandoned the slots (the device could not
+	// execute evictions); blank them now that it answers again.
+	if n.Tenants != nil {
+		for _, t := range n.Tenants.Tenants() {
+			_, _ = n.Tenants.Evict(c.now, t.ID)
+		}
+	}
+	n.killed = false
+	n.Inst.SetWireFaultInjector(nil)
+	n.missed = 0
+	c.setState(c.now, n, Healthy, "revived")
+	return nil
+}
+
+// CmdPathStats aggregates the command-path counters of every node's
+// driver: completed commands, checksum retransmissions and commands
+// dropped after exhausting retries — the fleet-level view of
+// command-wire health the chaos drill reports.
+type CmdPathStats struct {
+	Issued, Retries, Drops int64
+}
+
+// CmdPath sums command-path counters across the fleet.
+func (c *Cluster) CmdPath() CmdPathStats {
+	var s CmdPathStats
+	for _, n := range c.nodes {
+		issued, retries, drops := n.Inst.CmdStats()
+		s.Issued += issued
+		s.Retries += retries
+		s.Drops += drops
+	}
+	return s
 }

@@ -215,6 +215,11 @@ func (c *Cluster) DrainNode(now sim.Time, id string) (FailoverReport, error) {
 	return rep, nil
 }
 
+// replaceAttempts bounds how many candidate devices a re-placed
+// replica tries before it is left unplaced (each failed candidate
+// burned its bitstream-load retries first).
+const replaceAttempts = 4
+
 // evacuate moves every replica off a node. With evict set the node is
 // alive and each slot is blanked through its tenancy manager; a dead
 // node's slots are simply abandoned. Stateful replicas carry their
@@ -237,12 +242,27 @@ func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) Fai
 		c.router.idx.noteRemove(r, n)
 		delete(n.replicas, r.Name())
 		r.Node, r.Tenant, r.ReadyAt = "", 0, 0
-		target := c.pickNode(c.services[r.Service], exclude)
-		if target == nil {
-			rep.Unplaced++
-			continue
+		// A candidate whose bitstream load fails every retry is struck
+		// off and the replica falls back to the next-best device, up to
+		// replaceAttempts candidates.
+		var target *Node
+		tried := map[string]bool{n.ID: true}
+		for k := range exclude {
+			tried[k] = true
 		}
-		if err := c.admit(now, target, r); err != nil {
+		for attempt := 0; attempt < replaceAttempts; attempt++ {
+			cand := c.pickNode(c.services[r.Service], tried)
+			if cand == nil {
+				break
+			}
+			if err := c.admit(now, cand, r); err != nil {
+				tried[cand.ID] = true
+				continue
+			}
+			target = cand
+			break
+		}
+		if target == nil {
 			rep.Unplaced++
 			continue
 		}

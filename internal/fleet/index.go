@@ -19,8 +19,10 @@ import "harmonia/internal/sim"
 //   - health transitions: a node leaving the routable states (healthy,
 //     degraded) takes all its ready replicas with it.
 
-// routable reports whether a node in this state takes traffic.
-func routable(s State) bool { return s == Healthy || s == Degraded }
+// routable reports whether a node in this state takes traffic; the
+// policy lives on the cluster (derived shedding excludes degraded
+// nodes) so the index and the naive scan always agree.
+func (idx *replicaIndex) routable(s State) bool { return idx.c.routableState(s) }
 
 // pendingEntry is a replica waiting out its slot reconfiguration. The
 // placement snapshot (node, readyAt) invalidates the entry lazily when
@@ -126,7 +128,7 @@ func (idx *replicaIndex) noteAdmit(r *Replica, now sim.Time) {
 		idx.pushPending(pendingEntry{r: r, node: r.Node, readyAt: r.ReadyAt})
 		return
 	}
-	if routable(n.state) {
+	if idx.routable(n.state) {
 		idx.addReady(r, n.shard)
 	}
 }
@@ -155,14 +157,23 @@ func (idx *replicaIndex) noteRemove(r *Replica, n *Node) {
 }
 
 // noteState reacts to a node health transition: leaving the routable
-// states removes every ready replica on the node. (Nodes never re-enter
-// routable states with placements intact: failed/drained nodes are
-// evacuated, and healthy↔degraded are both routable.)
+// states removes every ready replica on the node; re-entering them
+// (derived shedding: degraded → healthy with placements intact) puts
+// matured replicas back. A replica still reconfiguring keeps its
+// pending entry and matures normally; one whose pending entry was
+// discarded while the node was unroutable re-enters here, and no
+// double-add is possible because maturation ran before this transition
+// on the same control-plane tick.
 func (idx *replicaIndex) noteState(n *Node, from, to State) {
-	if !idx.frozen || routable(from) == routable(to) {
+	if !idx.frozen || idx.routable(from) == idx.routable(to) {
 		return
 	}
-	if routable(to) {
+	if idx.routable(to) {
+		for _, r := range n.Replicas() {
+			if r.ReadyAt <= idx.c.now {
+				idx.addReady(r, n.shard)
+			}
+		}
 		return
 	}
 	for _, r := range n.replicas {
@@ -185,7 +196,7 @@ func (idx *replicaIndex) mature(now sim.Time) {
 			continue
 		}
 		n := idx.c.byID[e.node]
-		if !routable(n.state) {
+		if !idx.routable(n.state) {
 			continue
 		}
 		idx.addReady(e.r, n.shard)

@@ -86,7 +86,7 @@ func TestIndexMatchesScanRandomized(t *testing.T) {
 	alive := func() []*Node {
 		var out []*Node
 		for _, n := range c.Nodes() {
-			if routable(n.State()) {
+			if c.routableState(n.State()) {
 				out = append(out, n)
 			}
 		}

@@ -278,3 +278,79 @@ func TestTransitionsMonotonic(t *testing.T) {
 		t.Error("no drained transition recorded")
 	}
 }
+
+func TestDrainRacingSourceDeath(t *testing.T) {
+	// Failover racing an in-flight migration: the source answers the
+	// first TableRead of a planned drain, then dies before the export
+	// completes. The drain must fall back to the periodic snapshot and
+	// finish — not wedge on the half-read live table or lose the state.
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 1 // capture on every successful probe
+	c := buildStateful(t, cfg, 3)
+	tr := DefaultTraffic(testApp)
+	tr.Flows = 512 // enough pins that the export spans several rows
+	if _, err := c.Serve(200*sim.Microsecond, tr); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.Nodes()[0]
+	reps := victim.Replicas()
+	if len(reps) != 1 || reps[0].flows == nil {
+		t.Fatalf("node %s should host 1 stateful replica", victim.ID)
+	}
+	r := reps[0]
+	pinned := r.flows.table.Len()
+	if pinned <= 60 {
+		t.Fatalf("only %d flows pinned, need a multi-row export", pinned)
+	}
+	snap, ok := c.snapshots[r.Name()]
+	if !ok || len(snap.entries) == 0 {
+		t.Fatal("no periodic snapshot captured before the drain")
+	}
+
+	// The source dies mid-drain: the first command (the row-0 TableRead
+	// that starts the export) succeeds, every later command — including
+	// the rest of the table read — is corrupted past all retries.
+	cmds := 0
+	victim.Inst.SetWireFaultInjector(func(attempt int, buf []byte) []byte {
+		if attempt == 0 {
+			cmds++
+		}
+		if cmds > 1 && len(buf) > 0 {
+			buf[0] ^= 0xFF
+		}
+		return buf
+	})
+
+	// Drain off a heartbeat tick so the fallback capture is strictly
+	// older than the decision time.
+	rep, err := c.DrainNode(c.Now()+3*sim.Microsecond, victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmds < 2 {
+		t.Fatalf("drain issued %d commands on the source, want the export to have started", cmds)
+	}
+	if rep.Replaced != 1 || rep.Unplaced != 0 {
+		t.Fatalf("failover report %+v, want the replica re-placed", rep)
+	}
+	if r.Node == "" || r.Node == victim.ID {
+		t.Fatalf("replica landed on %q, want a surviving node", r.Node)
+	}
+	recs := c.Migrations()
+	if len(recs) != 1 {
+		t.Fatalf("got %d migration records, want 1", len(recs))
+	}
+	mr := recs[0]
+	if mr.Live {
+		t.Error("migration claims a live read despite the source dying mid-export")
+	}
+	if mr.Flows != len(snap.entries) {
+		t.Errorf("carried %d flows, want the %d from the periodic snapshot", mr.Flows, len(snap.entries))
+	}
+	if mr.Restored == 0 {
+		t.Error("snapshot fallback restored nothing")
+	}
+	if mr.SnapshotAge <= 0 {
+		t.Errorf("snapshot age = %v, want > 0 (capture predates the drain)", mr.SnapshotAge)
+	}
+}

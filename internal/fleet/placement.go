@@ -1,11 +1,13 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"harmonia/internal/net"
 	"harmonia/internal/sim"
+	"harmonia/internal/tenancy"
 )
 
 // The placement scheduler bin-packs replicas onto devices using the
@@ -85,13 +87,25 @@ func (c *Cluster) pickNode(svc *Service, exclude map[string]bool) *Node {
 
 // admit places one replica on a node through the node's tenancy
 // manager: the slot partially reconfigures and the flow director and
-// host queues take the replica's steering rules.
+// host queues take the replica's steering rules. The fleet-wide
+// reconfiguration budget gates the bitstream load — past the cap the
+// load queues behind the earliest in-flight completion, so its slot
+// reconfiguration (and the replica's ReadyAt) starts later.
 func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
 	logic := foldURAM(c.services[r.Service].Logic, n.Platform.Chip.Capacity.URAM > 0)
-	t, err := n.Tenants.Admit(now, r.Name(), logic, []net.IPAddr{r.VIP})
+	start := c.budget.acquire(now)
+	t, err := n.Tenants.Admit(start, r.Name(), logic, []net.IPAddr{r.VIP})
 	if err != nil {
+		var le *tenancy.LoadError
+		if errors.As(err, &le) {
+			// The failed loads still held bitstream bandwidth.
+			c.budget.commit(now, start, le.BusyUntil, n.ID, false)
+		} else {
+			c.budget.commit(now, start, start, n.ID, false)
+		}
 		return err
 	}
+	c.budget.commit(now, start, t.ReadyAt, n.ID, true)
 	r.Node = n.ID
 	r.Tenant = t.ID
 	r.ReadyAt = t.ReadyAt

@@ -44,8 +44,11 @@ const shardSeedStride int64 = 0x5851F42D4C957F2D
 // routerShard is the dispatch state one worker owns during a phase.
 type routerShard struct {
 	rng *rand.Rand
-	// Cumulative counters (merged into RouterSnapshot).
+	// Cumulative counters (merged into RouterSnapshot). healthy counts
+	// the served packets that landed on a Healthy node — the numerator
+	// of the chaos drill's availability metric.
 	sent, served, dropped int64
+	healthy               int64
 	bytes                 int64
 	// hist is the current measurement window's latency distribution.
 	hist metrics.Histogram
@@ -66,6 +69,7 @@ type router struct {
 	base struct {
 		rng                   *rand.Rand
 		sent, served, dropped int64
+		healthy               int64
 		bytes                 int64
 		lat                   *metrics.Latencies
 	}
@@ -126,9 +130,19 @@ type Dispatch struct {
 }
 
 // cost is the routing metric: outstanding backlog, inflated on
-// degraded devices.
+// thermally stressed devices. Statically a degraded device pays a flat
+// ×4; with derived shedding the penalty follows the throttling model —
+// it grows continuously with the node's last heartbeat temperature as
+// the thermal margin erodes, reaching ×4 at the alarm line (past which
+// the node is not routable at all).
 func (r *router) cost(n *Node, now sim.Time) sim.Time {
 	d := n.QueueDepth(now)
+	if r.c.cfg.DerivedShedding {
+		if p := r.c.thermalPenalty(n.lastTemp); p > 1 {
+			return sim.Time(float64(d+sim.Microsecond) * p)
+		}
+		return d
+	}
 	if n.state == Degraded {
 		return (d + sim.Microsecond) * degradedPenalty
 	}
@@ -147,7 +161,7 @@ func (c *Cluster) candidates(svc string, now sim.Time) []*Replica {
 			continue
 		}
 		n := c.byID[r.Node]
-		if n.state == Healthy || n.state == Degraded {
+		if c.routableState(n.state) {
 			out = append(out, r)
 		}
 	}
@@ -206,6 +220,9 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 		n.busyUntil = done
 	}
 	sh.served++
+	if n.state == Healthy {
+		sh.healthy++
+	}
 	sh.bytes += int64(p.WireBytes)
 	sh.hist.Add(done - now)
 	if pick.flows != nil {
@@ -258,6 +275,9 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 		n.busyUntil = done
 	}
 	sh.served++
+	if n.state == Healthy {
+		sh.healthy++
+	}
 	sh.bytes += int64(p.WireBytes)
 	sh.hist.Add(done - now)
 	if pick.flows != nil {
@@ -314,6 +334,9 @@ func (c *Cluster) routeBaseline(now sim.Time, svc string, p *net.Packet) (Dispat
 		n.busyUntil = done
 	}
 	r.base.served++
+	if n.state == Healthy {
+		r.base.healthy++
+	}
 	r.base.bytes += int64(p.WireBytes)
 	r.base.lat.Add(done - now)
 	if pick.flows != nil {
@@ -322,9 +345,12 @@ func (c *Cluster) routeBaseline(now sim.Time, svc string, p *net.Packet) (Dispat
 	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
 }
 
-// RouterSnapshot is the router's cumulative view.
+// RouterSnapshot is the router's cumulative view. HealthyServed counts
+// served packets that landed on a Healthy node; HealthyServed/Sent is
+// the chaos drill's availability.
 type RouterSnapshot struct {
 	Sent, Served, Dropped int64
+	HealthyServed         int64
 	Bytes                 int64
 }
 
@@ -334,12 +360,13 @@ func (c *Cluster) RouterStats() RouterSnapshot {
 	r := c.router
 	snap := RouterSnapshot{
 		Sent: r.base.sent, Served: r.base.served,
-		Dropped: r.base.dropped, Bytes: r.base.bytes,
+		Dropped: r.base.dropped, HealthyServed: r.base.healthy, Bytes: r.base.bytes,
 	}
 	for _, sh := range r.shards {
 		snap.Sent += sh.sent
 		snap.Served += sh.served
 		snap.Dropped += sh.dropped
+		snap.HealthyServed += sh.healthy
 		snap.Bytes += sh.bytes
 	}
 	return snap
@@ -364,17 +391,23 @@ func (r *router) windowHist() *metrics.Histogram {
 	return &h
 }
 
-// NodeStats is one device's live view for operator output.
+// NodeStats is one device's live view for operator output. CmdRetries
+// and CmdDrops surface the device driver's command-path retransmission
+// counters: a wire going marginal shows up here before the node misses
+// enough heartbeats to fail.
 type NodeStats struct {
-	ID       string
-	State    State
-	Slots    int
-	Free     int
-	Replicas int
-	Served   int64
-	Dropped  int64
-	TempC    float64
-	Depth    sim.Time
+	ID         string
+	State      State
+	Slots      int
+	Free       int
+	Replicas   int
+	Served     int64
+	Dropped    int64
+	CmdIssued  int64
+	CmdRetries int64
+	CmdDrops   int64
+	TempC      float64
+	Depth      sim.Time
 }
 
 // Fleet reports per-device stats at now, in commission order.
@@ -386,10 +419,12 @@ func (c *Cluster) Fleet(now sim.Time) []NodeStats {
 			free = n.Tenants.FreeSlots()
 		}
 		rx := n.Net.RxStats()
+		issued, retries, drops := n.Inst.CmdStats()
 		out = append(out, NodeStats{
 			ID: n.ID, State: n.state, Slots: n.slots, Free: free,
 			Replicas: len(n.replicas),
 			Served:   rx.Units, Dropped: rx.Drops,
+			CmdIssued: issued, CmdRetries: retries, CmdDrops: drops,
 			TempC: float64(n.lastTemp) / 1000,
 			Depth: n.QueueDepth(now),
 		})

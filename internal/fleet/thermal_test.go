@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// TestThrottleFactorModel validates the throttling model the derived
+// penalty comes from: full throughput with full margin, monotonic
+// derating as the margin erodes, and the shed floor at the alarm.
+func TestThrottleFactorModel(t *testing.T) {
+	const shedStart, alarm = 75_000, 85_000
+	if got := throttleFactor(20_000, shedStart, alarm); got != 1 {
+		t.Errorf("cool die throttled to %v, want 1", got)
+	}
+	if got := throttleFactor(shedStart, shedStart, alarm); got != 1 {
+		t.Errorf("factor at shed start = %v, want 1 (ramp begins above it)", got)
+	}
+	if got := throttleFactor(alarm, shedStart, alarm); got != shedFloorFactor {
+		t.Errorf("factor at alarm = %v, want %v", got, shedFloorFactor)
+	}
+	if got := throttleFactor(120_000, shedStart, alarm); got != shedFloorFactor {
+		t.Errorf("factor past alarm = %v, want floor %v", got, shedFloorFactor)
+	}
+	// Midpoint of the ramp derates to the midpoint of the span.
+	want := 1 - 0.5*(1-shedFloorFactor)
+	if got := throttleFactor(80_000, shedStart, alarm); got != want {
+		t.Errorf("mid-ramp factor = %v, want %v", got, want)
+	}
+	// Strictly monotonic non-increasing across the ramp.
+	prev := 2.0
+	for temp := uint32(70_000); temp <= 90_000; temp += 1_000 {
+		f := throttleFactor(temp, shedStart, alarm)
+		if f > prev {
+			t.Fatalf("factor rose from %v to %v at %d milli-degC", prev, f, temp)
+		}
+		prev = f
+	}
+	// Degenerate thresholds fall back to a step at the alarm.
+	if got := throttleFactor(10, 50, 50); got != 1 {
+		t.Errorf("degenerate below-alarm factor = %v, want 1", got)
+	}
+	if got := throttleFactor(50, 50, 50); got != shedFloorFactor {
+		t.Errorf("degenerate at-alarm factor = %v, want floor", got)
+	}
+}
+
+// TestThermalPenaltyMeetsStaticAtAlarm checks the continuity claim: the
+// derived penalty is 1 with full margin, grows with eroded margin, and
+// equals the static degradedPenalty (×4) exactly at the alarm line.
+func TestThermalPenaltyMeetsStaticAtAlarm(t *testing.T) {
+	c := buildTest(t, 2, 2)
+	alarm := c.Config().DegradeMilliC
+	shed := c.shedStart()
+	if shed != alarm-defaultShedMargin {
+		t.Fatalf("shed start = %d, want alarm-%d", shed, defaultShedMargin)
+	}
+	if got := c.ThermalPenalty(shed); got != 1 {
+		t.Errorf("penalty at shed start = %v, want 1", got)
+	}
+	if got := c.ThermalPenalty(alarm); got != degradedPenalty {
+		t.Errorf("penalty at alarm = %v, want the static degradedPenalty %v", got, float64(degradedPenalty))
+	}
+	prev := 0.0
+	for temp := shed; temp <= alarm; temp += 500 {
+		p := c.ThermalPenalty(temp)
+		if p < prev {
+			t.Fatalf("penalty fell from %v to %v at %d milli-degC", prev, p, temp)
+		}
+		prev = p
+	}
+}
+
+// TestRoutableStatePolicy checks the routability split the index and
+// the naive scan both follow: statically degraded nodes keep serving,
+// under derived shedding only healthy nodes take traffic.
+func TestRoutableStatePolicy(t *testing.T) {
+	c := buildTest(t, 2, 2)
+	if !c.routableState(Healthy) || !c.routableState(Degraded) {
+		t.Error("static policy must route healthy and degraded")
+	}
+	if c.routableState(Failed) || c.routableState(Drained) {
+		t.Error("static policy routed a down node")
+	}
+	c.cfg.DerivedShedding = true
+	if !c.routableState(Healthy) {
+		t.Error("derived policy must route healthy")
+	}
+	if c.routableState(Degraded) {
+		t.Error("derived policy routed a degraded (alarmed) node")
+	}
+}

@@ -23,6 +23,7 @@ type CmdDriver struct {
 	// MaxRetries bounds checksum-failure retransmissions.
 	MaxRetries int
 	retries    int64
+	drops      int64
 }
 
 // NewCmdDriver builds a driver over a DMA engine and a control kernel.
@@ -40,6 +41,11 @@ func (d *CmdDriver) SetFaultInjector(fn func(attempt int, buf []byte) []byte) {
 
 // Retries reports checksum-triggered retransmissions.
 func (d *CmdDriver) Retries() int64 { return d.retries }
+
+// Drops reports commands abandoned after exhausting retransmissions —
+// the command-path loss a fleet health monitor reads as missed
+// heartbeats.
+func (d *CmdDriver) Drops() int64 { return d.drops }
 
 // Do issues one command at time now and returns the response and its
 // arrival time back at the host. The command really crosses the wire in
@@ -71,6 +77,7 @@ func (d *CmdDriver) Do(now sim.Time, p *cmdif.Packet) (*cmdif.Packet, sim.Time, 
 			// NAK: the kernel rejects the corrupted command; the driver
 			// retransmits.
 			if attempt >= d.MaxRetries {
+				d.drops++
 				return nil, arrive, fmt.Errorf("hostsw: command dropped after %d attempts: %w",
 					attempt+1, perr)
 			}

@@ -327,3 +327,31 @@ func TestCmdDriverExecutesParsedBytes(t *testing.T) {
 		t.Errorf("wire-rewritten table not applied: %v, %v", entry, ok)
 	}
 }
+
+func TestCmdDriverCountsDrops(t *testing.T) {
+	d, _ := newCmdDriver(t)
+	d.MaxRetries = 1
+	d.SetFaultInjector(func(attempt int, buf []byte) []byte {
+		buf[6] ^= 0x80 // persistent corruption
+		return buf
+	})
+	if _, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.ModuleInit)); err == nil {
+		t.Fatal("persistently corrupted command succeeded")
+	}
+	if d.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", d.Drops())
+	}
+	// A recoverable corruption retries without dropping.
+	d.SetFaultInjector(func(attempt int, buf []byte) []byte {
+		if attempt == 0 {
+			buf[6] ^= 0x80
+		}
+		return buf
+	})
+	if _, err := d.CmdWrite(0, cmdif.New(1, 0, cmdif.ModuleInit)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Drops() != 1 {
+		t.Errorf("Drops = %d after recovered retry, want still 1", d.Drops())
+	}
+}

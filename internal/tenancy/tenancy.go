@@ -25,6 +25,12 @@ type SlotConfig struct {
 	ReconfigTime sim.Time
 	// QueuesPerTenant is each tenant's host-queue allocation.
 	QueuesPerTenant int
+	// LoadRetries bounds how often a failed partial-bitstream load is
+	// retried on the same slot before Admit gives up with a LoadError.
+	LoadRetries int
+	// LoadBackoff is the delay before the first load retry; it doubles
+	// per attempt (exponential backoff). Zero retries immediately.
+	LoadBackoff sim.Time
 }
 
 // DefaultSlotConfig returns a typical four-slot layout.
@@ -49,6 +55,32 @@ type Tenant struct {
 	VIPs []net.IPAddr
 	// ReadyAt is when the slot's partial reconfiguration completes.
 	ReadyAt sim.Time
+	// LoadAttempts is how many bitstream loads the slot took (1 = the
+	// first load succeeded; more mean injected load failures retried).
+	LoadAttempts int
+}
+
+// LoadFault decides whether one partial-bitstream load attempt fails.
+// Fault injection installs it via SetLoadFault; attempt counts from
+// zero. Implementations must be deterministic in their arguments so
+// seeded runs reproduce.
+type LoadFault func(tenant string, slot, attempt int) bool
+
+// LoadError reports a partial-bitstream load that failed on every
+// permitted attempt. The slot was busy for the failed loads (BusyUntil)
+// but no tenant was admitted — callers fall back to re-placement on
+// another device.
+type LoadError struct {
+	Tenant   string
+	Slot     int
+	Attempts int
+	// BusyUntil is when the slot finishes digesting the failed loads.
+	BusyUntil sim.Time
+}
+
+func (e *LoadError) Error() string {
+	return fmt.Sprintf("tenancy: bitstream load for %s failed on slot %d after %d attempts",
+		e.Tenant, e.Slot, e.Attempts)
 }
 
 type slot struct {
@@ -65,7 +97,17 @@ type Manager struct {
 	tenants  map[int]*Tenant
 	nextID   int
 	nextQ    int
+	// loadFault, when set, decides per-attempt bitstream load failures.
+	loadFault    LoadFault
+	loadFailures int64
 }
+
+// SetLoadFault installs (or, with nil, removes) the bitstream
+// load-failure injector consulted on every Admit attempt.
+func (m *Manager) SetLoadFault(fn LoadFault) { m.loadFault = fn }
+
+// LoadFailures reports how many bitstream load attempts failed.
+func (m *Manager) LoadFailures() int64 { return m.loadFailures }
 
 // NewManager returns a manager over the Network RBB's flow director and
 // the Host RBB.
@@ -117,6 +159,14 @@ func (m *Manager) Tenants() []*Tenant {
 // Admit places a tenant: checks its logic fits a slot's budget,
 // partially reconfigures the slot, allocates an isolated queue range
 // and programs the flow director. Other tenants are untouched.
+//
+// A bitstream load can fail (the injected LoadFault decides): each
+// failed attempt still occupies the slot for ReconfigTime, then the
+// load is retried after an exponentially growing backoff, up to
+// LoadRetries times. Exhausting the retries returns a *LoadError — the
+// slot stays free (no tenant was created, no queues were burned) but
+// busy until the failed loads drain, and the caller re-places the
+// tenant elsewhere.
 func (m *Manager) Admit(now sim.Time, name string, logic hdl.Resources, vips []net.IPAddr) (*Tenant, error) {
 	if logic.Utilization(m.cfg.SlotRes) > 1 {
 		return nil, fmt.Errorf("tenancy: %s needs more than one slot's budget (%s > %s)",
@@ -131,6 +181,27 @@ func (m *Manager) Admit(now sim.Time, name string, logic hdl.Resources, vips []n
 	}
 	if slotIdx < 0 {
 		return nil, fmt.Errorf("tenancy: no free slot for %s (have %d tenants)", name, len(m.tenants))
+	}
+
+	// Run the load attempts before allocating anything: a load that
+	// fails its whole retry budget must not leak director rules or
+	// retire host queues.
+	start := now
+	if m.slots[slotIdx].busyUntil > start {
+		start = m.slots[slotIdx].busyUntil
+	}
+	attempts := 1
+	for attempt := 0; m.loadFault != nil && m.loadFault(name, slotIdx, attempt); attempt++ {
+		m.loadFailures++
+		if attempt >= m.cfg.LoadRetries {
+			busy := start + m.cfg.ReconfigTime // the last failed load
+			m.slots[slotIdx].busyUntil = busy
+			return nil, &LoadError{Tenant: name, Slot: slotIdx, Attempts: attempts, BusyUntil: busy}
+		}
+		// The failed load held the slot for a full reconfiguration; back
+		// off exponentially before retrying on the same slot.
+		start += m.cfg.ReconfigTime + m.cfg.LoadBackoff<<attempt
+		attempts++
 	}
 
 	id := m.nextID
@@ -153,18 +224,15 @@ func (m *Manager) Admit(now sim.Time, name string, logic hdl.Resources, vips []n
 	m.nextQ = hi
 
 	// Partial reconfiguration occupies only this slot.
-	start := now
-	if m.slots[slotIdx].busyUntil > start {
-		start = m.slots[slotIdx].busyUntil
-	}
 	ready := start + m.cfg.ReconfigTime
 	m.slots[slotIdx] = slot{occupant: id, busyUntil: ready}
 
 	t := &Tenant{
 		ID: id, Name: name, Slot: slotIdx,
 		QueueLo: lo, QueueHi: hi,
-		VIPs:    append([]net.IPAddr(nil), vips...),
-		ReadyAt: ready,
+		VIPs:         append([]net.IPAddr(nil), vips...),
+		ReadyAt:      ready,
+		LoadAttempts: attempts,
 	}
 	m.tenants[id] = t
 	return t, nil

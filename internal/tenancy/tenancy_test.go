@@ -179,3 +179,90 @@ func TestReconfigurationTiming(t *testing.T) {
 		t.Error("Owner(9999) should miss")
 	}
 }
+
+func TestAdmitRetriesFailedLoads(t *testing.T) {
+	m, _, _ := newManager(t)
+	m.cfg.LoadRetries = 3
+	m.cfg.LoadBackoff = 100 * sim.Microsecond
+	failures := 2
+	m.SetLoadFault(func(tenant string, slot, attempt int) bool {
+		return attempt < failures
+	})
+	tn, err := m.Admit(0, "tenant-a", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("Admit within retry budget failed: %v", err)
+	}
+	if tn.LoadAttempts != failures+1 {
+		t.Errorf("LoadAttempts = %d, want %d", tn.LoadAttempts, failures+1)
+	}
+	if m.LoadFailures() != int64(failures) {
+		t.Errorf("LoadFailures = %d, want %d", m.LoadFailures(), failures)
+	}
+	// Each failed load held the slot for a full reconfiguration plus an
+	// exponentially growing backoff: 2 failures cost 2*Reconfig +
+	// (backoff<<0 + backoff<<1), then the successful load.
+	rc := m.cfg.ReconfigTime
+	bo := m.cfg.LoadBackoff
+	want := 2*rc + bo + 2*bo + rc
+	if tn.ReadyAt != want {
+		t.Errorf("ReadyAt = %v, want %v", tn.ReadyAt, want)
+	}
+}
+
+func TestAdmitExhaustsLoadRetries(t *testing.T) {
+	m, _, h := newManager(t)
+	m.cfg.LoadRetries = 1
+	m.SetLoadFault(func(tenant string, slot, attempt int) bool { return true })
+	_, err := m.Admit(0, "tenant-a", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 1)})
+	if err == nil {
+		t.Fatal("Admit succeeded despite every load failing")
+	}
+	le, ok := err.(*LoadError)
+	if !ok {
+		t.Fatalf("error is %T, want *LoadError", err)
+	}
+	if le.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", le.Attempts)
+	}
+	if le.BusyUntil <= 0 {
+		t.Errorf("BusyUntil = %v, want > 0 (slot digested failed loads)", le.BusyUntil)
+	}
+	// The failed admission must not leak resources: the slot stays free
+	// and no host queue was burned.
+	if m.FreeSlots() != m.cfg.Slots {
+		t.Errorf("FreeSlots = %d after failed admit, want %d", m.FreeSlots(), m.cfg.Slots)
+	}
+	if owner, ok := h.Owner(0); ok {
+		t.Errorf("queue 0 assigned to tenant %d after failed admit", owner)
+	}
+	// A later admission reuses the slot once it drains.
+	m.SetLoadFault(nil)
+	tn, err := m.Admit(le.BusyUntil, "tenant-b", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 2)})
+	if err != nil {
+		t.Fatalf("re-admission after failed loads: %v", err)
+	}
+	if tn.LoadAttempts != 1 {
+		t.Errorf("LoadAttempts = %d, want 1", tn.LoadAttempts)
+	}
+}
+
+func TestAdmitWaitsOutBusySlotFromFailedLoad(t *testing.T) {
+	m, _, _ := newManager(t)
+	m.cfg.Slots = 1
+	m.slots = m.slots[:1]
+	m.SetLoadFault(func(tenant string, slot, attempt int) bool { return tenant == "doomed" })
+	_, err := m.Admit(0, "doomed", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 1)})
+	le, ok := err.(*LoadError)
+	if !ok {
+		t.Fatalf("error is %T, want *LoadError", err)
+	}
+	// Admitting again before the slot drains queues behind the failed
+	// load rather than overlapping it.
+	tn, err := m.Admit(0, "tenant-b", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := le.BusyUntil + m.cfg.ReconfigTime; tn.ReadyAt != want {
+		t.Errorf("ReadyAt = %v, want %v (queued behind failed load)", tn.ReadyAt, want)
+	}
+}
