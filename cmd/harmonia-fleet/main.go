@@ -19,6 +19,14 @@
 //	harmonia-fleet -scenario bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	harmonia-fleet -scenario migrate -json BENCH_migrate.json
 //	harmonia-fleet -scenario chaos -devices 300 -seed 11 -budget 8
+//	harmonia-fleet -scenario chaos -trace trace.json -metrics metrics.prom
+//	harmonia-fleet -scenario tracecheck -trace trace.json
+//
+// The chaos drill always runs with a flight recorder attached: when a
+// gate fails, the last -flight events dump to chaos-flight.json next
+// to the repro line. Passing -trace upgrades to full recording and
+// writes a Chrome trace-event file Perfetto loads directly; -metrics
+// writes the merged per-case registries as Prometheus text.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 
 	"harmonia/internal/bench"
 	"harmonia/internal/fleet"
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 )
 
@@ -48,11 +57,15 @@ type options struct {
 	// bench scenario only.
 	nodes    string // comma-separated fleet sizes
 	jsonPath string // where to write the machine-readable report
+	// observability (chaos and tracecheck scenarios).
+	tracePath   string // Chrome trace-event output (chaos) / input (tracecheck)
+	metricsPath string // Prometheus text exposition output
+	flightN     int    // flight-recorder ring size per track
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | tracecheck")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
@@ -60,6 +73,9 @@ func main() {
 	flag.IntVar(&o.budget, "budget", 8, "chaos: concurrent PR-load cap for the budgeted cases")
 	flag.StringVar(&o.nodes, "nodes", "", "bench: comma-separated fleet sizes (default 100,300,1000)")
 	flag.StringVar(&o.jsonPath, "json", "BENCH_fleet.json", "bench: report path (empty to skip)")
+	flag.StringVar(&o.tracePath, "trace", "", "chaos: write a Chrome trace-event file; tracecheck: file to validate")
+	flag.StringVar(&o.metricsPath, "metrics", "", "chaos: write the merged registries as Prometheus text")
+	flag.IntVar(&o.flightN, "flight", 2048, "chaos: flight-recorder ring size per track (when -trace is not set)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -130,8 +146,10 @@ func run(w io.Writer, o options) error {
 		return runMigrate(w, o)
 	case "chaos":
 		return runChaos(w, o)
+	case "tracecheck":
+		return runTraceCheck(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate or chaos)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos or tracecheck)", o.scenario)
 	}
 }
 
@@ -284,6 +302,16 @@ func runChaos(w io.Writer, o options) error {
 	}
 	opts.Budget = o.budget
 	opts.Seed = o.seed
+	// The drill always flies with a recorder: full recording when the
+	// operator asked for a trace, otherwise a bounded flight recorder
+	// whose last events dump on gate failure.
+	var rec *obs.Recorder
+	if o.tracePath != "" {
+		rec = obs.NewRecorder()
+	} else {
+		rec = obs.NewFlightRecorder(o.flightN)
+	}
+	opts.Trace = rec
 	rep, d, err := bench.FleetChaosReport(opts)
 	if err != nil {
 		return err
@@ -315,8 +343,92 @@ func runChaos(w io.Writer, o options) error {
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", path)
 	}
+	// Observability artifacts are written before the gate check so a
+	// failing run still leaves its evidence behind.
+	if o.tracePath != "" {
+		if err := writeTraceFile(o.tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		var regs []*obs.Registry
+		for _, c := range d.Cases {
+			if c.Registry != nil {
+				regs = append(regs, c.Registry)
+			}
+		}
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteProm(f, regs...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.metricsPath)
+	}
 	if !rep.Gates() {
+		if o.tracePath == "" {
+			// Dump the flight recorder: the last -flight events per
+			// track, the forensic record of the moments before the gate
+			// went red.
+			const flightPath = "chaos-flight.json"
+			if werr := writeTraceFile(flightPath, rec); werr == nil {
+				return fmt.Errorf("chaos gates failed; flight recording in %s; reproduce with: %s",
+					flightPath, rep.Repro)
+			}
+		}
 		return fmt.Errorf("chaos gates failed; reproduce with: %s", rep.Repro)
+	}
+	return nil
+}
+
+// writeTraceFile exports a recorder as Chrome trace-event JSON.
+func writeTraceFile(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// traceRequiredCats lists the span kinds a chaos trace must carry —
+// the tentpole taxonomy the tracecheck scenario (and CI's trace-smoke
+// step) asserts on.
+var traceRequiredCats = []obs.Cat{
+	obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat, obs.CatMigration, obs.CatFault,
+}
+
+// runTraceCheck validates a trace file: parseable Chrome trace-event
+// JSON, complete event fields, monotonic timestamps, and at least one
+// event of every required category.
+func runTraceCheck(w io.Writer, o options) error {
+	if o.tracePath == "" {
+		return fmt.Errorf("tracecheck needs -trace <file>")
+	}
+	data, err := os.ReadFile(o.tracePath)
+	if err != nil {
+		return err
+	}
+	stats, err := obs.ValidateTrace(data, traceRequiredCats)
+	if err != nil {
+		return fmt.Errorf("tracecheck %s: %w", o.tracePath, err)
+	}
+	fmt.Fprintf(w, "trace ok: %s — %d events (%d metadata)\n",
+		o.tracePath, stats.Events, stats.Metadata)
+	for _, cat := range []obs.Cat{obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat,
+		obs.CatHealth, obs.CatMigration, obs.CatFault, obs.CatCmd} {
+		if n := stats.ByCat[string(cat)]; n > 0 {
+			fmt.Fprintf(w, "  %-10s %d\n", cat, n)
+		}
 	}
 	return nil
 }

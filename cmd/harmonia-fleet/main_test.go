@@ -200,6 +200,68 @@ func TestRunChaos(t *testing.T) {
 	}
 }
 
+func TestRunChaosTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	o := opts("chaos", 24)
+	o.seed = 11
+	o.budget = 2
+	o.jsonPath = ""
+	o.tracePath = filepath.Join(dir, "trace.json")
+	o.metricsPath = filepath.Join(dir, "metrics.prom")
+	var out bytes.Buffer
+	if err := run(&out, o); err != nil {
+		t.Fatalf("traced chaos scenario: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "wrote "+o.tracePath) || !strings.Contains(s, "wrote "+o.metricsPath) {
+		t.Errorf("missing artifact confirmations:\n%s", s)
+	}
+
+	// The trace must survive the same validation CI's trace-smoke runs.
+	var check bytes.Buffer
+	co := options{scenario: "tracecheck", tracePath: o.tracePath}
+	if err := run(&check, co); err != nil {
+		t.Fatalf("tracecheck on fresh trace: %v", err)
+	}
+	for _, cat := range []string{"packet", "prload", "heartbeat", "migration", "fault"} {
+		if !strings.Contains(check.String(), cat) {
+			t.Errorf("tracecheck output missing category %q:\n%s", cat, check.String())
+		}
+	}
+
+	// The metrics exposition must carry the registry families from
+	// every case, labelled by case name.
+	prom, err := os.ReadFile(o.metricsPath)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE harmonia_router_sent_total counter",
+		"# TYPE harmonia_route_latency_window_ps summary",
+		`case="unbudgeted-static"`,
+		`case="budgeted-derived"`,
+		"harmonia_pr_loads_peak_concurrent",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestRunTraceCheckRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&bytes.Buffer{}, options{scenario: "tracecheck", tracePath: bad}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := run(&bytes.Buffer{}, options{scenario: "tracecheck"}); err == nil {
+		t.Error("tracecheck without -trace accepted")
+	}
+}
+
 func TestRunChaosBadBudget(t *testing.T) {
 	o := opts("chaos", 24)
 	o.budget = 0

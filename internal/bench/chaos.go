@@ -67,6 +67,12 @@ type ChaosCasePoint struct {
 	CmdRetries int64 `json:"cmd_retries"`
 	CmdDrops   int64 `json:"cmd_drops"`
 
+	// Metrics is the case cluster's full registry snapshot (summaries
+	// expanded to _count/_sum/quantile keys) — the same series the
+	// Prometheus exposition carries, embedded so the drill artifact is
+	// self-contained.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
 	Windows []ChaosWindowPoint `json:"windows"`
 }
 
@@ -129,6 +135,7 @@ func chaosCasePoint(c fleet.ChaosCase) ChaosCasePoint {
 		CmdIssued:           c.Cmd.Issued,
 		CmdRetries:          c.Cmd.Retries,
 		CmdDrops:            c.Cmd.Drops,
+		Metrics:             c.Metrics,
 	}
 	for _, w := range c.Windows {
 		p.Windows = append(p.Windows, ChaosWindowPoint{

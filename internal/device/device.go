@@ -17,6 +17,7 @@ import (
 
 	"harmonia/internal/cmdif"
 	"harmonia/internal/hostsw"
+	"harmonia/internal/obs"
 	"harmonia/internal/pcie"
 	"harmonia/internal/sim"
 	"harmonia/internal/toolchain"
@@ -213,6 +214,10 @@ func (d *Device) SetThermalOffset(milliC uint32) { d.thermalOffset = milliC }
 func (d *Device) SetWireFaultInjector(fn func(attempt int, buf []byte) []byte) {
 	d.driver.SetFaultInjector(fn)
 }
+
+// SetCmdTrace attaches (nil detaches) a trace track to the command
+// driver; retried and dropped commands record spans on it.
+func (d *Device) SetCmdTrace(b *obs.Buffer) { d.driver.SetTrace(b) }
 
 // CmdStats reports the command-path delivery counters: commands
 // completed, checksum-triggered retransmissions, and commands dropped

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 )
 
@@ -301,6 +302,18 @@ func Storm(spec StormSpec) (*Schedule, error) {
 }
 
 func (s *Schedule) add(inj Injection) { s.Injections = append(s.Injections, inj) }
+
+// Trace records the planned schedule onto a trace track as instant
+// events — the storm script a Perfetto view shows alongside what the
+// drill actually applied. Nil-safe like every obs recording call.
+func (s *Schedule) Trace(b *obs.Buffer) {
+	for _, inj := range s.Injections {
+		e := obs.Instant(obs.CatFault, "plan:"+string(inj.Kind), inj.At)
+		e.K2, e.V2 = "node", int64(inj.Node)
+		e.K3, e.V3 = "arg", int64(inj.Arg)
+		b.Add(e)
+	}
+}
 
 // End reports the time of the last injection.
 func (s *Schedule) End() sim.Time {

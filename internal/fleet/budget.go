@@ -160,28 +160,11 @@ func peakConcurrent(events []LoadEvent) int {
 	return peak
 }
 
-// LoadBudgetPeak reports the highest concurrent PR-load count observed
-// since the budget was last reset — the number the chaos drill compares
-// against the configured cap.
-func (c *Cluster) LoadBudgetPeak() int { return peakConcurrent(c.budget.events) }
-
-// LoadsQueued reports how many loads the budget delayed.
-func (c *Cluster) LoadsQueued() int { return c.budget.queued }
+// LoadBudgetPeak, LoadsQueued and LoadFailures read through the
+// registry; see obs.go.
 
 // LoadEvents returns every budget grant since the last reset, in grant
 // order.
 func (c *Cluster) LoadEvents() []LoadEvent {
 	return append([]LoadEvent(nil), c.budget.events...)
-}
-
-// LoadFailures sums injected bitstream-load failures across every
-// node's tenancy manager.
-func (c *Cluster) LoadFailures() int64 {
-	var total int64
-	for _, n := range c.nodes {
-		if n.Tenants != nil {
-			total += n.Tenants.LoadFailures()
-		}
-	}
-	return total
 }

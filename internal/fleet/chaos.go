@@ -7,6 +7,7 @@ import (
 	"harmonia/internal/apps"
 	"harmonia/internal/faults"
 	"harmonia/internal/net"
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 )
 
@@ -42,6 +43,11 @@ type ChaosOptions struct {
 	Budget int
 	// Seed drives the storm schedule, traffic and router sampling.
 	Seed int64
+	// Trace, when set, records each case into its own trace process
+	// (plus a storm-plan process carrying the injection schedule). Use
+	// an unbounded recorder for full exports or a flight recorder for
+	// the always-on gate-failure dump.
+	Trace *obs.Recorder
 }
 
 // DefaultChaosOptions returns the tentpole storm configuration.
@@ -113,6 +119,12 @@ type ChaosCase struct {
 
 	Cmd     CmdPathStats
 	Windows []ChaosWindow
+
+	// Metrics is the case's end-of-storm registry snapshot (flat map,
+	// embedded in the drill JSON); Registry is the live registry for
+	// Prometheus export — the cluster itself is discarded per case.
+	Metrics  map[string]float64
+	Registry *obs.Registry
 }
 
 // ChaosResult is the fleet5 report.
@@ -155,6 +167,7 @@ func applyInjection(c *Cluster, nodes []*Node, inj faults.Injection) error {
 		}
 		id = nodes[inj.Node].ID
 	}
+	c.traceFault(string(inj.Kind), id, int64(inj.Arg))
 	switch inj.Kind {
 	case faults.KillNode:
 		return c.Kill(id)
@@ -228,6 +241,10 @@ func runChaosCase(opts ChaosOptions, sched *faults.Schedule, name string, budget
 	c, err := BuildServiceCluster(cfg, svc, opts.Devices)
 	if err != nil {
 		return nil, err
+	}
+	c.Metrics().SetConstLabels(map[string]string{"case": name})
+	if opts.Trace != nil {
+		c.SetTrace(opts.Trace.Process(name))
 	}
 	c.RunMonitorUntil(2 * cfg.ReconfigTime)
 	if _, err := c.Serve(chaosWarmup, chaosTraffic(opts.Seed, -1)); err != nil {
@@ -403,6 +420,11 @@ func runChaosCase(opts ChaosOptions, sched *faults.Schedule, name string, budget
 	if cc.FlowsEstablished > 0 {
 		cc.Disruption = float64(cc.FlowsDisrupted) / float64(cc.FlowsEstablished)
 	}
+	// The cluster is discarded with the case; carry its registry out so
+	// the drill can embed the snapshot in JSON and export Prometheus
+	// text per case.
+	cc.Registry = c.Metrics()
+	cc.Metrics = cc.Registry.Values()
 	return cc, nil
 }
 
@@ -421,6 +443,11 @@ func ChaosDrill(opts ChaosOptions) (*ChaosResult, error) {
 	sched, err := faults.Storm(spec)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Trace != nil {
+		// The planned schedule gets its own process, so the Perfetto view
+		// shows what the storm intended alongside what each case applied.
+		sched.Trace(opts.Trace.Process("storm-plan").Track("schedule"))
 	}
 	res := &ChaosResult{
 		Devices: opts.Devices, RackSize: spec.RackSize,

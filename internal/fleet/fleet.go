@@ -23,6 +23,7 @@ import (
 	"harmonia/internal/hdl"
 	"harmonia/internal/ip"
 	"harmonia/internal/net"
+	"harmonia/internal/obs"
 	"harmonia/internal/platform"
 	"harmonia/internal/rbb"
 	"harmonia/internal/role"
@@ -280,6 +281,16 @@ type Cluster struct {
 	// prLoadFault, when set, decides per-attempt bitstream load failures
 	// on every node (chaos injection).
 	prLoadFault func(node, tenant string, slot, attempt int) bool
+
+	// reg is the cluster's metrics registry: every layer registers
+	// read-through callbacks at construction, and the public stats
+	// accessors read back out of it (single source of truth).
+	reg *obs.Registry
+	// tp is the attached trace process (nil when tracing is off); ctrl
+	// and cmdTrack are its control-plane and command-path tracks.
+	ctrl     *obs.Buffer
+	cmdTrack *obs.Buffer
+	tp       *obs.Process
 }
 
 // NewCluster returns an empty control plane.
@@ -304,6 +315,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c.router = newRouter(c, cfg.Seed)
 	c.budget = &reconfigBudget{limit: cfg.MaxConcurrentLoads}
+	c.reg = obs.NewRegistry()
+	c.registerMetrics()
 	return c, nil
 }
 
@@ -570,6 +583,9 @@ func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
 		c.wireLoadFault(n)
 	}
 	inst.OnInterrupt(func(ev device.Event) { c.onEvent(n, ev) })
+	if c.cmdTrack != nil {
+		inst.SetCmdTrace(c.cmdTrack)
+	}
 	// Nodes commissioned after the router froze its shard layout join
 	// shards round-robin by commission index.
 	if c.router.frozen {
@@ -719,14 +735,4 @@ type CmdPathStats struct {
 	Issued, Retries, Drops int64
 }
 
-// CmdPath sums command-path counters across the fleet.
-func (c *Cluster) CmdPath() CmdPathStats {
-	var s CmdPathStats
-	for _, n := range c.nodes {
-		issued, retries, drops := n.Inst.CmdStats()
-		s.Issued += issued
-		s.Retries += retries
-		s.Drops += drops
-	}
-	return s
-}
+// CmdPath reads through the registry; see obs.go.

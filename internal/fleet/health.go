@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"harmonia/internal/device"
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 )
 
@@ -97,6 +98,11 @@ func (c *Cluster) setStateDone(now, completed sim.Time, n *Node, to State, reaso
 	from := n.state
 	n.state = to
 	c.router.idx.noteState(n, from, to)
+	if c.ctrl != nil {
+		e := obs.Instant(obs.CatHealth, string(from)+"->"+string(to), now)
+		e.K1, e.V1 = "node", n.ID
+		c.ctrl.Add(e)
+	}
 }
 
 // onEvent consumes one irq-path notification from a device.
@@ -134,6 +140,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	cohortCount := c.cohorts()
 	cohort := int(c.hbTick % int64(cohortCount))
 	c.hbTick++
+	probed := 0
 	for i, n := range c.nodes {
 		if cohortCount > 1 && i%cohortCount != cohort {
 			continue
@@ -141,6 +148,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 		if n.state == Failed || n.state == Drained {
 			continue
 		}
+		probed++
 		temp, err := n.Inst.CheckHealth()
 		if err != nil {
 			n.missed++
@@ -164,6 +172,12 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 		if c.cfg.MigrateFlows && len(n.flows) > 0 && n.probes%c.snapshotEvery() == 0 {
 			c.snapshotNode(now, n)
 		}
+	}
+	if c.ctrl != nil {
+		e := obs.Instant(obs.CatHeartbeat, "hb-sweep", now)
+		e.K2, e.V2 = "cohort", int64(cohort)
+		e.K3, e.V3 = "probed", int64(probed)
+		c.ctrl.Add(e)
 	}
 	return c.transitions[before:]
 }
@@ -282,8 +296,22 @@ func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) Fai
 				}
 				c.migrations = append(c.migrations, mr)
 				rep.Migrated += r.flows.restored
+				if c.ctrl != nil {
+					e := obs.Span(obs.CatMigration, "replay", now, r.ReadyAt)
+					e.K1, e.V1 = "replica", r.Name()
+					e.K2, e.V2 = "flows", int64(len(flows))
+					e.K3, e.V3 = "restored", int64(r.flows.restored)
+					c.ctrl.Add(e)
+				}
 			}
 		}
+	}
+	if c.ctrl != nil {
+		e := obs.Span(obs.CatHealth, "failover", now, rep.RecoveredAt)
+		e.K1, e.V1 = "node", n.ID
+		e.K2, e.V2 = "moved", int64(rep.Moved)
+		e.K3, e.V3 = "replaced", int64(rep.Replaced)
+		c.ctrl.Add(e)
 	}
 	return rep
 }

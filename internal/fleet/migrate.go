@@ -8,6 +8,7 @@ import (
 	"harmonia/internal/cmdif"
 	"harmonia/internal/device"
 	"harmonia/internal/net"
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 )
 
@@ -218,6 +219,12 @@ func (c *Cluster) snapshotNode(now sim.Time, n *Node) {
 			continue
 		}
 		c.snapshots[r.Name()] = flowSnap{at: now, entries: entries}
+		if c.ctrl != nil {
+			e := obs.Instant(obs.CatMigration, "snapshot", now)
+			e.K1, e.V1 = "replica", r.Name()
+			e.K2, e.V2 = "entries", int64(len(entries))
+			c.ctrl.Add(e)
+		}
 	}
 }
 

@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"fmt"
+
+	"harmonia/internal/obs"
+)
+
+// The cluster's observability wiring. Every control-plane and serving
+// layer registers read-through metrics into one obs.Registry at
+// construction, and SetTrace attaches an obs.Process whose tracks the
+// layers record spans into: the control plane and command path each
+// get a track, and every router shard gets its own — shard tracks are
+// touched by exactly one worker between barriers (the same ownership
+// rule as the shard RNG and counters), which keeps traces
+// byte-deterministic under parallel serving.
+//
+// The registry is the single source of truth for fleet statistics:
+// the public accessors (CmdPath, RouterStats, LoadBudgetPeak, ...)
+// read back through it, so drill JSON and registry snapshots can
+// never disagree.
+
+// Standard fleet metric names.
+const (
+	mRouterSent    = "harmonia_router_sent_total"
+	mRouterServed  = "harmonia_router_served_total"
+	mRouterDropped = "harmonia_router_dropped_total"
+	mRouterHealthy = "harmonia_router_healthy_served_total"
+	mRouterBytes   = "harmonia_router_bytes_total"
+	mRouteLatency  = "harmonia_route_latency_window_ps"
+	mCmdIssued     = "harmonia_cmd_issued_total"
+	mCmdRetries    = "harmonia_cmd_retries_total"
+	mCmdDrops      = "harmonia_cmd_drops_total"
+	mNodes         = "harmonia_fleet_nodes"
+	mReplicas      = "harmonia_fleet_replicas"
+	mReplicasReady = "harmonia_fleet_replicas_placed"
+	mLoads         = "harmonia_pr_loads_total"
+	mLoadsQueued   = "harmonia_pr_loads_queued_total"
+	mLoadFailures  = "harmonia_pr_load_failures_total"
+	mLoadsPeak     = "harmonia_pr_loads_peak_concurrent"
+	mFailovers     = "harmonia_failovers_total"
+	mTransitions   = "harmonia_transitions_total"
+	mMigrations    = "harmonia_migrations_total"
+	mThermalMax    = "harmonia_thermal_max_milli_c"
+	mSimNow        = "harmonia_sim_now_ps"
+)
+
+// registerMetrics wires every layer's live counters into the registry
+// as read-through callbacks. Nothing here runs on the serving hot
+// path; callbacks evaluate only at snapshot time.
+func (c *Cluster) registerMetrics() {
+	reg := c.reg
+
+	// Router shards (merged with the baseline path).
+	reg.Counter(mRouterSent, "Packets offered to the fleet router.",
+		func() int64 { return c.rawRouterStats().Sent })
+	reg.Counter(mRouterServed, "Packets a replica's datapath accepted.",
+		func() int64 { return c.rawRouterStats().Served })
+	reg.Counter(mRouterDropped, "Packets dropped (no replica, steering reject, tail drop).",
+		func() int64 { return c.rawRouterStats().Dropped })
+	reg.Counter(mRouterHealthy, "Served packets that landed on a Healthy node.",
+		func() int64 { return c.rawRouterStats().HealthyServed })
+	reg.Counter(mRouterBytes, "Wire bytes the router served.",
+		func() int64 { return c.rawRouterStats().Bytes })
+	reg.SummaryM(mRouteLatency, "Routed-packet latency over the current window (ps).",
+		func() obs.Summary {
+			h := c.router.windowHist()
+			return obs.Summary{
+				Count: h.Count(),
+				Sum:   float64(h.Sum()),
+				P50:   float64(h.Percentile(50)),
+				P99:   float64(h.Percentile(99)),
+				Max:   float64(h.Max()),
+			}
+		})
+
+	// Command path (CmdDriver counters summed across nodes).
+	reg.Counter(mCmdIssued, "Commands completed over every node's command path.",
+		func() int64 { return c.rawCmdPath().Issued })
+	reg.Counter(mCmdRetries, "Checksum-triggered command retransmissions.",
+		func() int64 { return c.rawCmdPath().Retries })
+	reg.Counter(mCmdDrops, "Commands abandoned after exhausting retries.",
+		func() int64 { return c.rawCmdPath().Drops })
+
+	// Fleet health.
+	for _, st := range []State{Healthy, Degraded, Failed, Drained} {
+		st := st
+		reg.GaugeL(mNodes, map[string]string{"state": string(st)}, "Nodes by health state.",
+			func() float64 {
+				n := 0
+				for _, node := range c.nodes {
+					if node.state == st {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+	reg.Gauge(mReplicas, "Replicas materialized (placed or pending).",
+		func() float64 { return float64(len(c.replicas)) })
+	reg.Gauge(mReplicasReady, "Replicas currently placed on a device.",
+		func() float64 {
+			n := 0
+			for _, r := range c.replicas {
+				if r.Node != "" {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.Counter(mFailovers, "Completed failover evacuations.",
+		func() int64 { return int64(len(c.failovers)) })
+	reg.Counter(mTransitions, "Health state-machine transitions.",
+		func() int64 { return int64(len(c.transitions)) })
+	reg.Gauge(mThermalMax, "Hottest last-heartbeat die temperature (milli-degC).",
+		func() float64 {
+			var max uint32
+			for _, n := range c.nodes {
+				if n.lastTemp > max {
+					max = n.lastTemp
+				}
+			}
+			return float64(max)
+		})
+	reg.Gauge(mSimNow, "Cluster simulated time (ps).",
+		func() float64 { return float64(c.now) })
+
+	// Reconfiguration budget.
+	reg.Counter(mLoads, "Partial-bitstream load grants since the last budget reset.",
+		func() int64 { return int64(len(c.budget.events)) })
+	reg.Counter(mLoadsQueued, "Loads the budget delayed past their request time.",
+		func() int64 { return int64(c.budget.queued) })
+	reg.Counter(mLoadFailures, "Injected bitstream-load failures across tenancy managers.",
+		func() int64 { return c.rawLoadFailures() })
+	reg.Gauge(mLoadsPeak, "Peak concurrent PR loads since the last budget reset.",
+		func() float64 { return float64(peakConcurrent(c.budget.events)) })
+
+	// Flow migration, split by path.
+	for _, mode := range []string{"live", "snapshot"} {
+		mode := mode
+		reg.CounterL(mMigrations, map[string]string{"mode": mode},
+			"Connection tables carried across failover, by transfer path.",
+			func() int64 {
+				var n int64
+				for _, m := range c.migrations {
+					if m.Live == (mode == "live") {
+						n++
+					}
+				}
+				return n
+			})
+	}
+}
+
+// Metrics returns the cluster's metrics registry.
+func (c *Cluster) Metrics() *obs.Registry { return c.reg }
+
+// SetTrace attaches (or with nil detaches) a trace process: the
+// control plane, command path and every router shard record into its
+// tracks from here on. Attach before serving traffic for complete
+// recordings; track creation order is deterministic.
+func (c *Cluster) SetTrace(p *obs.Process) {
+	c.tp = p
+	if p == nil {
+		c.ctrl, c.cmdTrack = nil, nil
+		for _, sh := range c.router.shards {
+			sh.trace = nil
+		}
+		for _, n := range c.nodes {
+			n.Inst.SetCmdTrace(nil)
+		}
+		return
+	}
+	c.ctrl = p.Track("control-plane")
+	c.cmdTrack = p.Track("cmd-path")
+	for _, n := range c.nodes {
+		n.Inst.SetCmdTrace(c.cmdTrack)
+	}
+	c.attachShardTraces()
+}
+
+// attachShardTraces gives each frozen router shard its own track.
+// Called from SetTrace and again when the router freezes its layout.
+func (c *Cluster) attachShardTraces() {
+	if c.tp == nil || !c.router.frozen {
+		return
+	}
+	for i, sh := range c.router.shards {
+		sh.trace = c.tp.Track(fmt.Sprintf("shard-%02d", i))
+		sh.sampleN = c.tp.Sample()
+	}
+}
+
+// traceFault records one applied chaos injection on the control track.
+func (c *Cluster) traceFault(kind string, node string, arg int64) {
+	if c.ctrl == nil {
+		return
+	}
+	e := obs.Instant(obs.CatFault, kind, c.now)
+	e.K1, e.V1 = "node", node
+	e.K2, e.V2 = "arg", arg
+	c.ctrl.Add(e)
+}
+
+// --- Read-through stats accessors -----------------------------------
+//
+// The public accessors fetch their values back out of the registry by
+// name rather than re-deriving them, so a drill JSON field and a
+// registry snapshot taken at the same instant are definitionally
+// equal. The raw* helpers below are the only places that sum the
+// underlying counters; the registry callbacks own them.
+
+// rawCmdPath sums command-path counters across every node's driver.
+func (c *Cluster) rawCmdPath() CmdPathStats {
+	var s CmdPathStats
+	for _, n := range c.nodes {
+		issued, retries, drops := n.Inst.CmdStats()
+		s.Issued += issued
+		s.Retries += retries
+		s.Drops += drops
+	}
+	return s
+}
+
+// rawLoadFailures sums injected bitstream-load failures across every
+// node's tenancy manager.
+func (c *Cluster) rawLoadFailures() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		if n.Tenants != nil {
+			total += n.Tenants.LoadFailures()
+		}
+	}
+	return total
+}
+
+// CmdPath reports the fleet's command-path counters, read through the
+// registry.
+func (c *Cluster) CmdPath() CmdPathStats {
+	return CmdPathStats{
+		Issued:  c.reg.Int(mCmdIssued),
+		Retries: c.reg.Int(mCmdRetries),
+		Drops:   c.reg.Int(mCmdDrops),
+	}
+}
+
+// RouterStats reports cumulative dispatch counters, read through the
+// registry.
+func (c *Cluster) RouterStats() RouterSnapshot {
+	return RouterSnapshot{
+		Sent:          c.reg.Int(mRouterSent),
+		Served:        c.reg.Int(mRouterServed),
+		Dropped:       c.reg.Int(mRouterDropped),
+		HealthyServed: c.reg.Int(mRouterHealthy),
+		Bytes:         c.reg.Int(mRouterBytes),
+	}
+}
+
+// LoadBudgetPeak reports the highest concurrent PR-load count observed
+// since the budget was last reset, read through the registry.
+func (c *Cluster) LoadBudgetPeak() int { return int(c.reg.Int(mLoadsPeak)) }
+
+// LoadsQueued reports how many loads the budget delayed, read through
+// the registry.
+func (c *Cluster) LoadsQueued() int { return int(c.reg.Int(mLoadsQueued)) }
+
+// LoadFailures sums injected bitstream-load failures fleet-wide, read
+// through the registry.
+func (c *Cluster) LoadFailures() int64 { return c.reg.Int(mLoadFailures) }

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harmonia/internal/obs"
+	"harmonia/internal/sim"
+)
+
+// tracedChaos runs the small storm with a full recorder attached and
+// returns the exported Chrome trace-event bytes.
+func tracedChaos(t *testing.T) []byte {
+	t.Helper()
+	opts := chaosTestOptions()
+	rec := obs.NewRecorder()
+	opts.Trace = rec
+	if _, err := ChaosDrill(opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosTraceDeterministicAndValid replays the storm twice from the
+// same seed and requires byte-identical traces — the flight-recording
+// counterpart of the drill's JSON reproducibility contract — and that
+// one run carries every span kind of the taxonomy.
+func TestChaosTraceDeterministicAndValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full traced drill runs")
+	}
+	a := tracedChaos(t)
+	b := tracedChaos(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two same-seed chaos runs produced different trace bytes")
+	}
+	stats, err := obs.ValidateTrace(a, []obs.Cat{
+		obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat, obs.CatMigration, obs.CatFault,
+	})
+	if err != nil {
+		t.Fatalf("trace failed validation: %v", err)
+	}
+	if stats.Events == 0 || stats.Metadata == 0 {
+		t.Fatalf("trace stats = %+v, want events and metadata", stats)
+	}
+	// The storm corrupts command wires, so the command path must have
+	// recorded retries or drops, and health transitions must appear.
+	if stats.ByCat[string(obs.CatCmd)] == 0 {
+		t.Error("no command-path anomaly spans despite wire corruption")
+	}
+	if stats.ByCat[string(obs.CatHealth)] == 0 {
+		t.Error("no health transition events despite failovers")
+	}
+}
+
+// TestMetricsReadThroughAccessors checks the single-source-of-truth
+// property: the public stats accessors and the registry snapshot agree
+// exactly with the raw layer counters they read through.
+func TestMetricsReadThroughAccessors(t *testing.T) {
+	c := buildTest(t, 4, 4)
+	c.advance(2 * c.Config().ReconfigTime) // past every replica's ReadyAt
+	tr := DefaultTraffic(testApp)
+	if _, err := c.Serve(sim.Millisecond, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got, raw := c.RouterStats(), c.rawRouterStats(); got != raw {
+		t.Errorf("RouterStats read-through %+v != raw %+v", got, raw)
+	}
+	if got, raw := c.CmdPath(), c.rawCmdPath(); got != raw {
+		t.Errorf("CmdPath read-through %+v != raw %+v", got, raw)
+	}
+	vals := c.Metrics().Values()
+	raw := c.rawRouterStats()
+	if raw.Sent == 0 || raw.Served == 0 {
+		t.Fatalf("phase served nothing: %+v", raw)
+	}
+	for name, want := range map[string]int64{
+		mRouterSent:    raw.Sent,
+		mRouterServed:  raw.Served,
+		mRouterDropped: raw.Dropped,
+		mRouterBytes:   raw.Bytes,
+		mCmdIssued:     c.rawCmdPath().Issued,
+	} {
+		if got := vals[name]; got != float64(want) {
+			t.Errorf("registry %s = %v, want %d", name, got, want)
+		}
+	}
+	if got := vals[mNodes+`{state="healthy"}`]; got != 4 {
+		t.Errorf("healthy node gauge = %v, want 4", got)
+	}
+	var prom bytes.Buffer
+	if err := c.Metrics().WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE " + mRouterSent + " counter",
+		"# TYPE " + mRouteLatency + " summary",
+		mSimNow,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestSetTraceDetaches verifies nil-detach returns the cluster to the
+// zero-cost state after a traced phase.
+func TestSetTraceDetaches(t *testing.T) {
+	c := buildTest(t, 2, 2)
+	rec := obs.NewFlightRecorder(64)
+	c.SetTrace(rec.Process("fleet"))
+	tr := DefaultTraffic(testApp)
+	if _, err := c.Serve(sim.Millisecond, tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("traced phase recorded nothing")
+	}
+	c.SetTrace(nil)
+	for _, sh := range c.router.shards {
+		if sh.trace != nil {
+			t.Error("shard trace still attached after detach")
+		}
+	}
+	if c.ctrl != nil || c.cmdTrack != nil {
+		t.Error("control/cmd tracks still attached after detach")
+	}
+	before := len(rec.Events())
+	if _, err := c.Serve(sim.Millisecond, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Events()); got != before {
+		t.Errorf("detached cluster recorded %d new events", got-before)
+	}
+}

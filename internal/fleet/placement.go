@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"harmonia/internal/net"
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 	"harmonia/internal/tenancy"
 )
@@ -100,12 +101,15 @@ func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
 		if errors.As(err, &le) {
 			// The failed loads still held bitstream bandwidth.
 			c.budget.commit(now, start, le.BusyUntil, n.ID, false)
+			c.tracePRLoad(now, start, le.BusyUntil, n.ID, false)
 		} else {
 			c.budget.commit(now, start, start, n.ID, false)
+			c.tracePRLoad(now, start, start, n.ID, false)
 		}
 		return err
 	}
 	c.budget.commit(now, start, t.ReadyAt, n.ID, true)
+	c.tracePRLoad(now, start, t.ReadyAt, n.ID, true)
 	r.Node = n.ID
 	r.Tenant = t.ID
 	r.ReadyAt = t.ReadyAt
@@ -113,6 +117,24 @@ func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
 	c.attachFlowState(n, r)
 	c.router.idx.noteAdmit(r, now)
 	return nil
+}
+
+// tracePRLoad records one PR-load span on the control track: request
+// at reqAt, budget grant at start (later when queued), slot ready at
+// done. Failed loads carry ok=0.
+func (c *Cluster) tracePRLoad(reqAt, start, done sim.Time, node string, ok bool) {
+	if c.ctrl == nil {
+		return
+	}
+	e := obs.Span(obs.CatPRLoad, "pr-load", reqAt, done)
+	e.K1, e.V1 = "node", node
+	e.K2, e.V2 = "queued_ps", int64(start-reqAt)
+	if ok {
+		e.K3, e.V3 = "ok", 1
+	} else {
+		e.K3, e.V3 = "ok", 0
+	}
+	c.ctrl.Add(e)
 }
 
 // vipFor derives replica i's virtual IP from the service base address.

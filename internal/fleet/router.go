@@ -6,6 +6,7 @@ import (
 
 	"harmonia/internal/metrics"
 	"harmonia/internal/net"
+	"harmonia/internal/obs"
 	"harmonia/internal/sim"
 )
 
@@ -52,6 +53,35 @@ type routerShard struct {
 	bytes                 int64
 	// hist is the current measurement window's latency distribution.
 	hist metrics.Histogram
+	// trace is the shard's trace track (nil when tracing is off — the
+	// zero-cost disabled state). sampleN decimates packet spans; the
+	// per-shard counter keeps sampling deterministic because per-shard
+	// packet subsequences are fixed by the flow hash.
+	trace       *obs.Buffer
+	sampleN     int
+	sinceSample int
+}
+
+// tracePacket records one served packet's route span, subject to the
+// sampling divisor. Caller guards sh.trace != nil.
+func (sh *routerShard) tracePacket(now, done sim.Time, node string, bytes int64) {
+	sh.sinceSample++
+	if sh.sinceSample < sh.sampleN {
+		return
+	}
+	sh.sinceSample = 0
+	e := obs.Span(obs.CatPacket, "route", now, done)
+	e.K1, e.V1 = "node", node
+	e.K2, e.V2 = "bytes", bytes
+	sh.trace.Add(e)
+}
+
+// traceDrop records one dropped packet, unsampled — drops are rare and
+// each one matters to a post-mortem. Caller guards sh.trace != nil.
+func (sh *routerShard) traceDrop(now sim.Time, node string) {
+	e := obs.Instant(obs.CatPacket, "drop", now)
+	e.K1, e.V1 = "node", node
+	sh.trace.Add(e)
 }
 
 // router holds the sharded dispatch state plus the unsharded baseline
@@ -118,6 +148,7 @@ func (r *router) freeze() {
 		n.shard = i % s
 	}
 	r.idx.freeze(s)
+	r.c.attachShardTraces()
 }
 
 // Dispatch is the outcome of routing one packet.
@@ -202,6 +233,9 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 	sh.sent++
 	if len(cands) == 0 {
 		sh.dropped++
+		if sh.trace != nil {
+			sh.traceDrop(now, "")
+		}
 		return
 	}
 	pick := c.pickTwoChoice(sh, cands, now)
@@ -209,11 +243,17 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 	p.DstIP = pick.VIP
 	if _, _, err := n.Tenants.Route(p); err != nil {
 		sh.dropped++
+		if sh.trace != nil {
+			sh.traceDrop(now, n.ID)
+		}
 		return
 	}
 	done, _, ok := n.Net.Ingress(now, p)
 	if !ok {
 		sh.dropped++
+		if sh.trace != nil {
+			sh.traceDrop(now, n.ID)
+		}
 		return
 	}
 	if done > n.busyUntil {
@@ -225,6 +265,9 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 	}
 	sh.bytes += int64(p.WireBytes)
 	sh.hist.Add(done - now)
+	if sh.trace != nil {
+		sh.tracePacket(now, done, n.ID, int64(p.WireBytes))
+	}
 	if pick.flows != nil {
 		pick.flows.process(p.Flow())
 	}
@@ -254,6 +297,9 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	if !ok {
 		sh.sent++
 		sh.dropped++
+		if sh.trace != nil {
+			sh.traceDrop(now, "")
+		}
 		return Dispatch{Dropped: true}, fmt.Errorf("fleet: no live replica of %s", svc)
 	}
 	cands := si.ready[s]
@@ -264,11 +310,17 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	queue, _, err := n.Tenants.Route(p)
 	if err != nil {
 		sh.dropped++
+		if sh.trace != nil {
+			sh.traceDrop(now, n.ID)
+		}
 		return Dispatch{Replica: pick, Node: n.ID, Dropped: true}, err
 	}
 	done, _, ok := n.Net.Ingress(now, p)
 	if !ok {
 		sh.dropped++
+		if sh.trace != nil {
+			sh.traceDrop(now, n.ID)
+		}
 		return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Dropped: true}, nil
 	}
 	if done > n.busyUntil {
@@ -280,6 +332,9 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	}
 	sh.bytes += int64(p.WireBytes)
 	sh.hist.Add(done - now)
+	if sh.trace != nil {
+		sh.tracePacket(now, done, n.ID, int64(p.WireBytes))
+	}
 	if pick.flows != nil {
 		pick.flows.process(p.Flow())
 	}
@@ -354,9 +409,10 @@ type RouterSnapshot struct {
 	Bytes                 int64
 }
 
-// RouterStats reports cumulative dispatch counters, merged across
-// shards and the baseline path.
-func (c *Cluster) RouterStats() RouterSnapshot {
+// rawRouterStats merges the dispatch counters across shards and the
+// baseline path. It feeds the registry's router callbacks; the public
+// RouterStats accessor (obs.go) reads back through the registry.
+func (c *Cluster) rawRouterStats() RouterSnapshot {
 	r := c.router
 	snap := RouterSnapshot{
 		Sent: r.base.sent, Served: r.base.served,

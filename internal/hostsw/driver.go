@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"harmonia/internal/cmdif"
+	"harmonia/internal/obs"
 	"harmonia/internal/pcie"
 	"harmonia/internal/sim"
 	"harmonia/internal/uck"
@@ -24,6 +25,9 @@ type CmdDriver struct {
 	MaxRetries int
 	retries    int64
 	drops      int64
+	// trace records command-path anomalies (retried commands, drops);
+	// nil is the zero-cost disabled state.
+	trace *obs.Buffer
 }
 
 // NewCmdDriver builds a driver over a DMA engine and a control kernel.
@@ -38,6 +42,11 @@ func NewCmdDriver(engine *pcie.Engine, kernel *uck.Kernel) (*CmdDriver, error) {
 func (d *CmdDriver) SetFaultInjector(fn func(attempt int, buf []byte) []byte) {
 	d.inject = fn
 }
+
+// SetTrace attaches (nil detaches) a trace track. Only anomalous
+// commands record — ones that needed retransmission or were dropped —
+// so the healthy command path stays span-free and cheap.
+func (d *CmdDriver) SetTrace(b *obs.Buffer) { d.trace = b }
 
 // Retries reports checksum-triggered retransmissions.
 func (d *CmdDriver) Retries() int64 { return d.retries }
@@ -78,6 +87,11 @@ func (d *CmdDriver) Do(now sim.Time, p *cmdif.Packet) (*cmdif.Packet, sim.Time, 
 			// retransmits.
 			if attempt >= d.MaxRetries {
 				d.drops++
+				if d.trace != nil {
+					e := obs.Span(obs.CatCmd, "cmd-drop", now, arrive)
+					e.K2, e.V2 = "attempts", int64(attempt+1)
+					d.trace.Add(e)
+				}
 				return nil, arrive, fmt.Errorf("hostsw: command dropped after %d attempts: %w",
 					attempt+1, perr)
 			}
@@ -97,6 +111,11 @@ func (d *CmdDriver) Do(now sim.Time, p *cmdif.Packet) (*cmdif.Packet, sim.Time, 
 		}
 		done := d.engine.Link().Transfer(execDone, len(respBuf))
 		d.issued++
+		if d.trace != nil && attempt > 0 {
+			e := obs.Span(obs.CatCmd, "cmd-retry", now, done)
+			e.K2, e.V2 = "attempts", int64(attempt+1)
+			d.trace.Add(e)
+		}
 		return resp, done, nil
 	}
 }

@@ -135,6 +135,9 @@ func (h *Histogram) Percentile(p float64) sim.Time {
 	return h.max
 }
 
+// Sum reports the exact total of the recorded samples.
+func (h *Histogram) Sum() sim.Time { return h.sum }
+
 // Mean reports the exact average of the recorded samples.
 func (h *Histogram) Mean() sim.Time {
 	if h.n == 0 {

@@ -36,6 +36,12 @@ func NewSampler(eng *sim.Engine, interval sim.Time, windows int, read func() int
 	tick = func() {
 		cur := s.read()
 		delta := cur - s.last
+		if delta < 0 {
+			// Counter reset (source restarted or rolled its window):
+			// treat the new absolute value as this window's increment
+			// rather than reporting a negative rate.
+			delta = cur
+		}
 		s.last = cur
 		s.samples = append(s.samples, Sample{
 			At:   eng.Now(),
@@ -52,6 +58,30 @@ func NewSampler(eng *sim.Engine, interval sim.Time, windows int, read func() int
 
 // Samples returns the recorded windows.
 func (s *Sampler) Samples() []Sample { return s.samples }
+
+// LastRate returns the most recent windowed rate (zero before the
+// first window completes).
+func (s *Sampler) LastRate() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].Rate
+}
+
+// GaugeRegistry is the registration surface a Sampler needs to expose
+// its windowed rate as a live gauge. harmonia/internal/obs.Registry
+// satisfies it; declaring the interface here keeps metrics free of an
+// obs dependency (obs already imports nothing above sim).
+type GaugeRegistry interface {
+	Gauge(name, help string, read func() float64)
+}
+
+// RegisterRate registers this sampler's most recent windowed rate as a
+// gauge, so registry snapshots taken mid-run report the live rate the
+// monitoring logic is currently observing.
+func (s *Sampler) RegisterRate(reg GaugeRegistry, name, help string) {
+	reg.Gauge(name, help, s.LastRate)
+}
 
 // PeakRate returns the highest windowed rate.
 func (s *Sampler) PeakRate() float64 {

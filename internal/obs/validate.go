@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TraceStats summarizes a validated trace for CI output and tests.
+type TraceStats struct {
+	// Events counts non-metadata events; Metadata the "M" records.
+	Events   int
+	Metadata int
+	// ByCat counts non-metadata events per category.
+	ByCat map[string]int
+}
+
+// tracedEvent mirrors the subset of Chrome trace-event fields the
+// validator checks.
+type tracedEvent struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+// ValidateTrace checks that data is well-formed Chrome trace-event
+// JSON: every event has a name and a known phase, non-metadata events
+// carry ts/pid/tid, spans carry a non-negative dur, timestamps are
+// monotonically non-decreasing in file order, and (when requireCats is
+// non-empty) every required category has at least one event. It
+// returns per-category counts for reporting.
+func ValidateTrace(data []byte, requireCats []Cat) (*TraceStats, error) {
+	var doc struct {
+		TraceEvents []tracedEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return nil, fmt.Errorf("obs: trace has no events")
+	}
+	stats := &TraceStats{ByCat: make(map[string]int)}
+	lastTs := -1.0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			return nil, fmt.Errorf("obs: event %d has no name", i)
+		}
+		switch e.Ph {
+		case "M":
+			stats.Metadata++
+			continue
+		case "X", "i", "I", "B", "E", "C":
+		default:
+			return nil, fmt.Errorf("obs: event %d (%s) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts == nil {
+			return nil, fmt.Errorf("obs: event %d (%s) has no ts", i, e.Name)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			return nil, fmt.Errorf("obs: event %d (%s) has no pid/tid", i, e.Name)
+		}
+		if *e.Ts < lastTs {
+			return nil, fmt.Errorf("obs: event %d (%s) ts %.6f runs backwards (previous %.6f)",
+				i, e.Name, *e.Ts, lastTs)
+		}
+		lastTs = *e.Ts
+		if e.Ph == "X" {
+			if e.Dur == nil {
+				return nil, fmt.Errorf("obs: span %d (%s) has no dur", i, e.Name)
+			}
+			if *e.Dur < 0 {
+				return nil, fmt.Errorf("obs: span %d (%s) has negative dur %.6f", i, e.Name, *e.Dur)
+			}
+		}
+		stats.Events++
+		stats.ByCat[e.Cat]++
+	}
+	for _, cat := range requireCats {
+		if stats.ByCat[string(cat)] == 0 {
+			return nil, fmt.Errorf("obs: trace has no %q events (have %v)", cat, stats.ByCat)
+		}
+	}
+	return stats, nil
+}
