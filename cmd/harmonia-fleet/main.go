@@ -6,21 +6,29 @@
 // time), the control-plane overhead bench (serial scan vs sharded
 // fast path, emitted as BENCH_fleet.json), and the live-migration
 // drill (stateful LB failover with and without carrying the connection
-// table across, emitted as BENCH_migrate.json), and the failure-storm
+// table across, emitted as BENCH_migrate.json), the failure-storm
 // chaos drill (one seeded injection schedule replayed unbudgeted vs
 // budgeted and static vs derived shedding, emitted as
-// BENCH_chaos.json).
+// BENCH_chaos.json), and the gossip smoke drill (a full
+// suspect/refute/confirm protocol cycle on a seeded fleet, emitted as
+// BENCH_gossip.json).
 //
 // Usage:
 //
 //	harmonia-fleet -scenario scale -devices 4
 //	harmonia-fleet -scenario drill -devices 3 -app layer4-lb
-//	harmonia-fleet -scenario bench -nodes 100,300,1000 -json BENCH_fleet.json
+//	harmonia-fleet -scenario bench -nodes 100,300,1000,10000 -json BENCH_fleet.json
 //	harmonia-fleet -scenario bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	harmonia-fleet -scenario migrate -json BENCH_migrate.json
 //	harmonia-fleet -scenario chaos -devices 300 -seed 11 -budget 8
 //	harmonia-fleet -scenario chaos -trace trace.json -metrics metrics.prom
+//	harmonia-fleet -scenario gossip -devices 300 -seed 11 -racks 8
 //	harmonia-fleet -scenario tracecheck -trace trace.json
+//
+// The bench sweep's default sizes now reach the 10000-node scale
+// point: the serial baseline is skipped there, and the report gates on
+// the rack-hierarchical path's per-packet cost staying flat (within
+// 1.25x) from 1000 to 10000 nodes.
 //
 // The chaos drill always runs with a flight recorder attached: when a
 // gate fails, the last -flight events dump to chaos-flight.json next
@@ -54,6 +62,7 @@ type options struct {
 	gbps     float64
 	seed     int64
 	budget   int // chaos: concurrent PR-load cap
+	racks    int // rack count override (0 = auto, one rack per 64 nodes)
 	// bench scenario only.
 	nodes    string // comma-separated fleet sizes
 	jsonPath string // where to write the machine-readable report
@@ -65,13 +74,14 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | tracecheck")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | tracecheck")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
 	flag.Int64Var(&o.seed, "seed", 7, "workload and router seed")
 	flag.IntVar(&o.budget, "budget", 8, "chaos: concurrent PR-load cap for the budgeted cases")
-	flag.StringVar(&o.nodes, "nodes", "", "bench: comma-separated fleet sizes (default 100,300,1000)")
+	flag.IntVar(&o.racks, "racks", 0, "rack count (0 = auto, one rack per 64 nodes)")
+	flag.StringVar(&o.nodes, "nodes", "", "bench: comma-separated fleet sizes (default 100,300,1000,10000)")
 	flag.StringVar(&o.jsonPath, "json", "BENCH_fleet.json", "bench: report path (empty to skip)")
 	flag.StringVar(&o.tracePath, "trace", "", "chaos: write a Chrome trace-event file; tracecheck: file to validate")
 	flag.StringVar(&o.metricsPath, "metrics", "", "chaos: write the merged registries as Prometheus text")
@@ -80,10 +90,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	// The generic -devices default (4) suits scale/drill; the chaos
-	// drill's tentpole configuration is the 300-node storm. Only an
-	// explicit -devices overrides it.
-	if o.scenario == "chaos" {
+	// The generic -devices default (4) suits scale/drill; the chaos and
+	// gossip drills' tentpole configuration is the 300-node fleet. Only
+	// an explicit -devices overrides it.
+	if o.scenario == "chaos" || o.scenario == "gossip" {
 		devicesGiven := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "devices" {
@@ -134,6 +144,7 @@ func run(w io.Writer, o options) error {
 	traffic.Seed = o.seed
 	cfg := fleet.DefaultConfig()
 	cfg.Seed = o.seed
+	cfg.Racks = o.racks
 
 	switch o.scenario {
 	case "scale":
@@ -146,10 +157,12 @@ func run(w io.Writer, o options) error {
 		return runMigrate(w, o)
 	case "chaos":
 		return runChaos(w, o)
+	case "gossip":
+		return runGossip(w, o)
 	case "tracecheck":
 		return runTraceCheck(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos or tracecheck)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip or tracecheck)", o.scenario)
 	}
 }
 
@@ -201,12 +214,17 @@ func runDrill(w io.Writer, cfg fleet.Config, app string, n int, t fleet.Traffic)
 	return nil
 }
 
-// runBench runs the fleet3 control-plane overhead sweep, prints the
-// scaling table, and writes the machine-readable report.
+// runBench runs the fleet3 control-plane overhead sweep (default sizes
+// include the 10000-node scale point), prints the scaling table, writes
+// the machine-readable report, and gates on the rack path staying flat
+// from 1k to 10k nodes.
 func runBench(w io.Writer, o options) error {
 	sizes, err := parseSizes(o.nodes)
 	if err != nil {
 		return err
+	}
+	if sizes == nil {
+		sizes = bench.ControlPlaneScaleSizes
 	}
 	rep, err := bench.FleetControlPlaneReport(sizes)
 	if err != nil {
@@ -214,28 +232,199 @@ func runBench(w io.Writer, o options) error {
 	}
 	fmt.Fprintf(w, "control-plane overhead: %s, %.0f Gbps/node, %v phase\n\n",
 		rep.App, rep.GbpsPerNode, sim.Time(rep.PhasePs))
-	fmt.Fprintf(w, "%-7s %-7s %-8s %-9s %-13s %-13s %-12s %-12s %-9s %-9s\n",
-		"nodes", "shards", "cohorts", "packets",
-		"base-ns/pkt", "fast-ns/pkt", "base-allocs", "fast-allocs",
-		"speedup", "allocs/")
+	fmt.Fprintf(w, "%-7s %-7s %-7s %-8s %-9s %-13s %-13s %-13s %-12s %-12s %-9s\n",
+		"nodes", "shards", "racks", "cohorts", "packets",
+		"base-ns/pkt", "fast-ns/pkt", "rack-ns/pkt",
+		"fast-allocs", "rack-allocs", "speedup")
 	for _, p := range rep.Points {
-		fmt.Fprintf(w, "%-7d %-7d %-8d %-9d %-13.0f %-13.0f %-12.3f %-12.3f %-9.1f %-9.0f\n",
-			p.Nodes, p.Shards, p.Cohorts, p.Packets,
-			p.BaselineNsPerPkt, p.FastNsPerPkt,
-			p.BaselineAllocsPerPkt, p.FastAllocsPerPkt,
-			p.SpeedupWall, p.AllocReduction)
+		baseNs, speedup := fmt.Sprintf("%.0f", p.BaselineNsPerPkt), fmt.Sprintf("%.1f", p.SpeedupWall)
+		if p.BaselineSkipped {
+			baseNs, speedup = "-", "-"
+		}
+		fmt.Fprintf(w, "%-7d %-7d %-7d %-8d %-9d %-13s %-13.0f %-13.0f %-12.3f %-12.3f %-9s\n",
+			p.Nodes, p.Shards, p.Racks, p.Cohorts, p.Packets,
+			baseNs, p.FastNsPerPkt, p.RackNsPerPkt,
+			p.FastAllocsPerPkt, p.RackAllocsPerPkt, speedup)
 	}
-	if o.jsonPath == "" {
-		return nil
+	if rep.RackFlatRatio > 0 {
+		fmt.Fprintf(w, "\nrack flat 10k/1k: %.3f (bound %.2f): %v\n",
+			rep.RackFlatRatio, rep.RackFlatBound, rep.RackFlat)
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
+	if o.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", o.jsonPath)
+	}
+	if !rep.RackFlat {
+		return fmt.Errorf("rack path not flat: 10k/1k ns/pkt ratio %.3f exceeds %.2f",
+			rep.RackFlatRatio, rep.RackFlatBound)
+	}
+	return nil
+}
+
+// gossipReport is the machine-readable fleet7 smoke artifact
+// (BENCH_gossip.json): one full suspect/refute/confirm protocol cycle
+// on a seeded fleet.
+type gossipReport struct {
+	Experiment string `json:"experiment"`
+	App        string `json:"app"`
+	Devices    int    `json:"devices"`
+	Racks      int    `json:"racks"`
+	Seed       int64  `json:"seed"`
+	BoundPs    int64  `json:"detection_bound_ps"`
+
+	// Refutation leg: a live node is falsely suspected and must refute
+	// by bumping its incarnation, with no failover.
+	SuspectedNode string `json:"suspected_node"`
+	Refuted       bool   `json:"refuted"`
+	RefuteClean   bool   `json:"refute_no_failover"`
+
+	// Confirmation leg: a killed node must be confirmed dead within the
+	// detection bound and its replicas re-placed.
+	KilledNode       string `json:"killed_node"`
+	DetectPs         int64  `json:"detect_latency_ps"`
+	Confirmed        bool   `json:"confirmed_within_bound"`
+	FailoverDone     bool   `json:"failover_completed"`
+	ReplicasReplaced int    `json:"replicas_replaced"`
+
+	Events []fleet.GossipEvent `json:"events"`
+	Stats  gossipStatsJSON     `json:"stats"`
+}
+
+// gossipStatsJSON mirrors gossip.Stats with json tags for the artifact.
+type gossipStatsJSON struct {
+	Ticks         int64 `json:"ticks"`
+	Probes        int64 `json:"probes"`
+	Digests       int64 `json:"digests"`
+	Suspicions    int64 `json:"suspicions"`
+	Refutations   int64 `json:"refutations"`
+	Confirmations int64 `json:"confirmations"`
+}
+
+// Gates reports whether the smoke cycle completed: false suspicion
+// refuted without failover, real failure confirmed within the bound,
+// failover done.
+func (r *gossipReport) Gates() bool {
+	return r.Refuted && r.RefuteClean && r.Confirmed && r.FailoverDone
+}
+
+// runGossip runs the fleet7 gossip smoke drill: build a seeded fleet
+// with gossip health and rack-first dispatch, falsely suspect a live
+// node (must refute, no failover), then kill a node (must be suspected,
+// confirmed within the detection bound, and failed over).
+func runGossip(w io.Writer, o options) error {
+	n := o.devices
+	if n <= 0 {
+		n = 300
+	}
+	cfg := fleet.DefaultConfig()
+	cfg.Seed = o.seed
+	cfg.Racks = o.racks
+	cfg.GossipHealth = true
+	cfg.RackP2C = true
+	c, err := fleet.BuildCluster(cfg, o.app, n, n)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(o.jsonPath, append(data, '\n'), 0o644); err != nil {
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	// A short serving burst freezes the rack layout and exercises the
+	// rack-first dispatch path before the protocol legs run.
+	t := fleet.DefaultTraffic(o.app)
+	t.OfferedGbps = o.gbps * float64(n)
+	t.Seed = o.seed
+	if _, err := c.Serve(50*sim.Microsecond, t); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "\nwrote %s\n", o.jsonPath)
+	bound := c.GossipDetectionBound()
+	nodes := c.Nodes()
+	rep := &gossipReport{
+		Experiment: "fleet7", App: o.app, Devices: n, Seed: o.seed,
+		Racks: c.RackCount(), BoundPs: int64(bound),
+	}
+	fmt.Fprintf(w, "gossip smoke: %s on %d devices, %d racks, seed %d, detection bound %v\n\n",
+		o.app, n, rep.Racks, o.seed, bound)
+
+	// Leg 1: false suspicion. The suspected node is alive, so its next
+	// direct probe answers and the detector refutes by bumping the
+	// incarnation — no state transition, no failover.
+	suspect := nodes[1].ID
+	rep.SuspectedNode = suspect
+	if _, err := c.InjectGossipSuspicion(suspect); err != nil {
+		return err
+	}
+	c.RunMonitorUntil(c.Now() + bound)
+	failoversBefore := len(c.Failovers())
+	for _, ev := range c.GossipEvents() {
+		if ev.Node == suspect && ev.Kind == "refuted" {
+			rep.Refuted = true
+		}
+	}
+	rep.RefuteClean = failoversBefore == 0
+	fmt.Fprintf(w, "false suspicion of %s: refuted=%v failovers=%d\n",
+		suspect, rep.Refuted, failoversBefore)
+
+	// Leg 2: real failure. Kill a node and let the detector run the
+	// full suspect -> confirm cycle; confirmation triggers failover.
+	killed := nodes[len(nodes)/2].ID
+	rep.KilledNode = killed
+	faultAt := c.Now()
+	if err := c.Kill(killed); err != nil {
+		return err
+	}
+	c.RunMonitorUntil(faultAt + bound + cfg.Heartbeat)
+	for _, tr := range c.Transitions() {
+		if tr.Node == killed && tr.To == fleet.Failed {
+			rep.DetectPs = int64(tr.At - faultAt)
+			rep.Confirmed = tr.At-faultAt <= bound
+			break
+		}
+	}
+	for _, f := range c.Failovers() {
+		if f.Node == killed {
+			rep.FailoverDone = true
+			rep.ReplicasReplaced = f.Replaced
+		}
+	}
+	fmt.Fprintf(w, "killed %s at %v: detected in %v (bound %v), failover=%v replaced=%d\n",
+		killed, faultAt, sim.Time(rep.DetectPs), bound, rep.FailoverDone, rep.ReplicasReplaced)
+
+	rep.Events = c.GossipEvents()
+	s := c.GossipStats()
+	rep.Stats = gossipStatsJSON{
+		Ticks: s.Ticks, Probes: s.Probes, Digests: s.Digests,
+		Suspicions: s.Suspicions, Refutations: s.Refutations,
+		Confirmations: s.Confirmations,
+	}
+	fmt.Fprintln(w, "\nprotocol events:")
+	for _, ev := range rep.Events {
+		fmt.Fprintf(w, "  %v %-10s %s (incarnation %d)\n", ev.At, ev.Kind, ev.Node, ev.Incarnation)
+	}
+	fmt.Fprintf(w, "\nstats: ticks=%d probes=%d digests=%d suspicions=%d refutations=%d confirmations=%d\n",
+		s.Ticks, s.Probes, s.Digests, s.Suspicions, s.Refutations, s.Confirmations)
+
+	path := o.jsonPath
+	if path == "BENCH_fleet.json" { // the -json flag default belongs to bench
+		path = "BENCH_gossip.json"
+	}
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	if !rep.Gates() {
+		return fmt.Errorf("gossip smoke incomplete: refuted=%v clean=%v confirmed=%v failover=%v",
+			rep.Refuted, rep.RefuteClean, rep.Confirmed, rep.FailoverDone)
+	}
 	return nil
 }
 
@@ -405,6 +594,7 @@ func writeTraceFile(path string, rec *obs.Recorder) error {
 // step) asserts on.
 var traceRequiredCats = []obs.Cat{
 	obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat, obs.CatMigration, obs.CatFault,
+	obs.CatRack, obs.CatGossip,
 }
 
 // runTraceCheck validates a trace file: parseable Chrome trace-event
@@ -425,7 +615,8 @@ func runTraceCheck(w io.Writer, o options) error {
 	fmt.Fprintf(w, "trace ok: %s — %d events (%d metadata)\n",
 		o.tracePath, stats.Events, stats.Metadata)
 	for _, cat := range []obs.Cat{obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat,
-		obs.CatHealth, obs.CatMigration, obs.CatFault, obs.CatCmd} {
+		obs.CatHealth, obs.CatMigration, obs.CatFault, obs.CatCmd,
+		obs.CatRack, obs.CatGossip} {
 		if n := stats.ByCat[string(cat)]; n > 0 {
 			fmt.Fprintf(w, "  %-10s %d\n", cat, n)
 		}

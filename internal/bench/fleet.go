@@ -47,6 +47,21 @@ func FleetScaleOut() (*metrics.Figure, error) {
 // bottleneck.
 var ControlPlaneSizes = []int{100, 300, 1000}
 
+// ControlPlaneScaleSizes extends the sweep to the 10k-node scale point
+// the rack-hierarchical path exists for. The serial baseline is skipped
+// above cpBaselineMax (it would dominate the run without informing the
+// comparison); the flat fast path and the rack path both run.
+var ControlPlaneScaleSizes = []int{100, 300, 1000, 10000}
+
+// cpBaselineMax is the largest fleet the serial probe-every-node
+// baseline still runs at. Beyond it the point records BaselineSkipped.
+const cpBaselineMax = 1000
+
+// RackFlatBound is the fleet3 scale gate: the rack path's ns/pkt at
+// 10000 nodes must stay within this factor of its 1000-node cost —
+// per-packet dispatch cost must not scale with the fleet.
+const RackFlatBound = 1.25
+
 // Fixed fleet3 workload: a short phase keeps the serial baseline at
 // 1000 nodes affordable in CI while still routing tens of thousands of
 // packets per point.
@@ -65,7 +80,12 @@ type ControlPlanePoint struct {
 	Nodes   int   `json:"nodes"`
 	Shards  int   `json:"shards"`
 	Cohorts int   `json:"cohorts"`
+	Racks   int   `json:"racks"`
 	Packets int64 `json:"packets"`
+
+	// BaselineSkipped marks points above cpBaselineMax, where the
+	// serial scan is no longer affordable (or interesting).
+	BaselineSkipped bool `json:"baseline_skipped,omitempty"`
 
 	BaselineNsPerPkt     float64 `json:"baseline_ns_per_pkt"`
 	FastNsPerPkt         float64 `json:"fast_ns_per_pkt"`
@@ -74,10 +94,16 @@ type ControlPlanePoint struct {
 	SpeedupWall          float64 `json:"speedup_wall"`
 	AllocReduction       float64 `json:"alloc_reduction"`
 
-	// Goodput on both paths — the sanity check that the fast path
+	// Rack path: RackP2C dispatch with gossip health, the
+	// configuration the 10k point scales on.
+	RackNsPerPkt     float64 `json:"rack_ns_per_pkt"`
+	RackAllocsPerPkt float64 `json:"rack_allocs_per_pkt"`
+
+	// Goodput on every path — the sanity check that the cheaper paths
 	// routed the same workload, not a cheaper one.
 	BaselineGoodputGbps float64 `json:"baseline_goodput_gbps"`
 	FastGoodputGbps     float64 `json:"fast_goodput_gbps"`
+	RackGoodputGbps     float64 `json:"rack_goodput_gbps"`
 }
 
 // ControlPlaneReport is the machine-readable fleet3 artifact
@@ -88,6 +114,32 @@ type ControlPlaneReport struct {
 	PhasePs     int64               `json:"phase_ps"`
 	GbpsPerNode float64             `json:"gbps_per_node"`
 	Points      []ControlPlanePoint `json:"points"`
+
+	// Scale gate: rack-path ns/pkt at 10000 nodes over the 1000-node
+	// point, against RackFlatBound. True (ratio 0) when the sweep did
+	// not cover both sizes.
+	RackFlatRatio float64 `json:"rack_flat_ratio"`
+	RackFlatBound float64 `json:"rack_flat_bound"`
+	RackFlat      bool    `json:"rack_flat"`
+}
+
+// gateRackFlat computes the scale gate over the sweep's points.
+func (r *ControlPlaneReport) gateRackFlat() {
+	r.RackFlatBound = RackFlatBound
+	r.RackFlat = true
+	var at1k, at10k float64
+	for _, p := range r.Points {
+		switch p.Nodes {
+		case 1000:
+			at1k = p.RackNsPerPkt
+		case 10000:
+			at10k = p.RackNsPerPkt
+		}
+	}
+	if at1k > 0 && at10k > 0 {
+		r.RackFlatRatio = at10k / at1k
+		r.RackFlat = r.RackFlatRatio <= RackFlatBound
+	}
 }
 
 // cpCohorts picks the heartbeat cohort count for a fleet size, mirroring
@@ -149,17 +201,26 @@ func ControlPlaneSweep(sizes []int) ([]ControlPlanePoint, error) {
 		if n < 1 {
 			return out, fmt.Errorf("bench: invalid fleet size %d", n)
 		}
+		p := ControlPlanePoint{Nodes: n, Cohorts: cpCohorts(n)}
+
 		// Baseline: every heartbeat probes every node, as the serial
-		// monitor did before cohorts existed.
-		base := fleet.DefaultConfig()
-		base.HeartbeatCohorts = 1
-		bph, err := cpPrepare(base, n)
-		if err != nil {
-			return out, err
-		}
-		bst, bNs, bAllocs, err := measuredPhase(bph.RunBaseline)
-		if err != nil {
-			return out, err
+		// monitor did before cohorts existed. Skipped past the size
+		// where the serial scan stops being an interesting comparison.
+		if n <= cpBaselineMax {
+			base := fleet.DefaultConfig()
+			base.HeartbeatCohorts = 1
+			bph, err := cpPrepare(base, n)
+			if err != nil {
+				return out, err
+			}
+			bst, bNs, bAllocs, err := measuredPhase(bph.RunBaseline)
+			if err != nil {
+				return out, err
+			}
+			p.BaselineNsPerPkt, p.BaselineAllocsPerPkt = bNs, bAllocs
+			p.BaselineGoodputGbps = bst.GoodputGbps
+		} else {
+			p.BaselineSkipped = true
 		}
 
 		fast := fleet.DefaultConfig()
@@ -172,19 +233,33 @@ func ControlPlaneSweep(sizes []int) ([]ControlPlanePoint, error) {
 		if err != nil {
 			return out, err
 		}
+		p.Shards, p.Packets = fph.Shards(), fst.Sent
+		p.FastNsPerPkt, p.FastAllocsPerPkt = fNs, fAllocs
+		p.FastGoodputGbps = fst.GoodputGbps
 
-		p := ControlPlanePoint{
-			Nodes: n, Shards: fph.Shards(), Cohorts: cpCohorts(n),
-			Packets:          fst.Sent,
-			BaselineNsPerPkt: bNs, FastNsPerPkt: fNs,
-			BaselineAllocsPerPkt: bAllocs, FastAllocsPerPkt: fAllocs,
-			BaselineGoodputGbps: bst.GoodputGbps, FastGoodputGbps: fst.GoodputGbps,
+		// Rack path: one shard per rack, rack-first two-choices
+		// dispatch, gossip health instead of the central sweep — the
+		// configuration whose per-packet cost must not scale with n.
+		rack := fleet.DefaultConfig()
+		rack.RackP2C = true
+		rack.GossipHealth = true
+		rph, err := cpPrepare(rack, n)
+		if err != nil {
+			return out, err
 		}
-		if fNs > 0 {
-			p.SpeedupWall = bNs / fNs
+		rst, rNs, rAllocs, err := measuredPhase(rph.Run)
+		if err != nil {
+			return out, err
 		}
-		if fAllocs > 0 {
-			p.AllocReduction = bAllocs / fAllocs
+		p.Racks = rph.Shards()
+		p.RackNsPerPkt, p.RackAllocsPerPkt = rNs, rAllocs
+		p.RackGoodputGbps = rst.GoodputGbps
+
+		if fNs > 0 && !p.BaselineSkipped {
+			p.SpeedupWall = p.BaselineNsPerPkt / fNs
+		}
+		if fAllocs > 0 && !p.BaselineSkipped {
+			p.AllocReduction = p.BaselineAllocsPerPkt / fAllocs
 		}
 		out = append(out, p)
 	}
@@ -201,11 +276,13 @@ func FleetControlPlaneReport(sizes []int) (*ControlPlaneReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ControlPlaneReport{
+	rep := &ControlPlaneReport{
 		Experiment: "fleet3", App: cpApp,
 		PhasePs: int64(cpPhase), GbpsPerNode: cpGbpsPerNode,
 		Points: pts,
-	}, nil
+	}
+	rep.gateRackFlat()
+	return rep, nil
 }
 
 // FleetControlPlane is the fleet3 figure: control-plane overhead per
@@ -214,6 +291,7 @@ func FleetControlPlane() (*metrics.Figure, error) {
 	fig := &metrics.Figure{ID: "fleet3", Title: "Fleet control-plane overhead scaling"}
 	bNs := &metrics.Series{Label: "baseline-ns-per-pkt", XLabel: "devices", YLabel: "ns/pkt"}
 	fNs := &metrics.Series{Label: "fastpath-ns-per-pkt"}
+	rNs := &metrics.Series{Label: "rackpath-ns-per-pkt"}
 	bAl := &metrics.Series{Label: "baseline-allocs-per-pkt"}
 	fAl := &metrics.Series{Label: "fastpath-allocs-per-pkt"}
 	pts, err := ControlPlaneSweep(ControlPlaneSizes)
@@ -222,12 +300,15 @@ func FleetControlPlane() (*metrics.Figure, error) {
 	}
 	for _, p := range pts {
 		x := float64(p.Nodes)
-		bNs.Add(x, p.BaselineNsPerPkt)
+		if !p.BaselineSkipped {
+			bNs.Add(x, p.BaselineNsPerPkt)
+			bAl.Add(x, p.BaselineAllocsPerPkt)
+		}
 		fNs.Add(x, p.FastNsPerPkt)
-		bAl.Add(x, p.BaselineAllocsPerPkt)
+		rNs.Add(x, p.RackNsPerPkt)
 		fAl.Add(x, p.FastAllocsPerPkt)
 	}
-	fig.Series = append(fig.Series, bNs, fNs, bAl, fAl)
+	fig.Series = append(fig.Series, bNs, fNs, rNs, bAl, fAl)
 	return fig, nil
 }
 

@@ -219,11 +219,19 @@ func applyInjection(c *Cluster, nodes []*Node, inj faults.Injection) error {
 func runChaosCase(opts ChaosOptions, sched *faults.Schedule, name string, budgeted, derived bool) (*ChaosCase, error) {
 	cfg := DefaultConfig()
 	cfg.Seed = opts.Seed
-	cfg.HeartbeatCohorts = 2
-	// The drill's windows are short relative to the production snapshot
-	// cadence; capture every other probe so dead-node fallbacks have a
-	// recent table.
-	cfg.SnapshotEvery = 2
+	// Health dissemination runs on the gossip detector and dispatch on
+	// the rack-first path — the scale-plane configuration the 10k bench
+	// gates — so the storm validates detection bounds and availability
+	// under exactly that plane. A wide fanout keeps thermal readings
+	// fresh enough for derived shedding on a 300-node fleet.
+	cfg.GossipHealth = true
+	cfg.GossipFanout = 32
+	cfg.GossipPiggyback = 8
+	cfg.RackP2C = true
+	// Gossip probes reach a given node only once per rotation period, so
+	// capture a connection-table snapshot on every successful probe to
+	// keep dead-node fallbacks reasonably fresh.
+	cfg.SnapshotEvery = 1
 	cfg.DerivedShedding = derived
 	// The storm's runaway ramps 6°C every 50µs, so the default 10°C shed
 	// span would be crossed inside one measurement window; a wider span

@@ -20,6 +20,7 @@ import (
 
 	"harmonia/internal/apps"
 	"harmonia/internal/device"
+	"harmonia/internal/gossip"
 	"harmonia/internal/hdl"
 	"harmonia/internal/ip"
 	"harmonia/internal/net"
@@ -106,6 +107,37 @@ type Config struct {
 	// LoadBackoff is the delay before the first load retry, doubling
 	// per attempt.
 	LoadBackoff sim.Time
+	// Racks groups the fleet into this many contiguous racks — the
+	// digest, metrics and gossip aggregation domains (and, with RackP2C,
+	// the dispatch tier). 0 picks one rack per 64 nodes. Without
+	// RackP2C the rack count never changes results: the tier is
+	// observational and dispatch stays on the flat sharded path.
+	Racks int
+	// RackP2C enables rack-first dispatch: the router's shard layout
+	// nests in the racks (one shard per contiguous rack) and each
+	// packet two-choices between two hash-derived racks on their
+	// barrier-frozen backlog digests before the in-rack two-choice
+	// runs. Per-packet cost stops scaling with the fleet size; seeded
+	// results depend on the rack count (as they already do on the shard
+	// count) but never on the worker count. Incompatible with an
+	// explicit RouterShards setting.
+	RackP2C bool
+	// GossipHealth replaces the central heartbeat sweep with the
+	// SWIM-style gossip detector (internal/gossip): each monitor tick
+	// directly probes a seeded rotation of GossipFanout nodes and
+	// piggybacks peer liveness digests on the answers, so probe cost
+	// per tick is O(fanout) instead of O(N) while a silent node is
+	// still declared failed only after FailedAfter consecutive missed
+	// command-path probes — within GossipDetectionBound.
+	GossipHealth bool
+	// GossipFanout is the per-tick direct probe count (0 = 8).
+	GossipFanout int
+	// GossipPiggyback is how many peer liveness observations each
+	// answered probe carries back (0 = 4).
+	GossipPiggyback int
+	// SuspectAfter is how many ticks an unrefuted gossip suspicion
+	// stands before escalating to per-tick confirmation probes (0 = 2).
+	SuspectAfter int
 	// DerivedShedding replaces the static ×4 degraded-node routing
 	// penalty with one derived from thermal margin: cost scales with
 	// the die's modeled throttling as temperature erodes the margin to
@@ -180,6 +212,9 @@ type Replica struct {
 	Tenant int
 	// ReadyAt is when the replica's slot reconfiguration completes.
 	ReadyAt sim.Time
+	// node caches the hosting *Node (nil while unplaced) so the
+	// per-packet dispatch path never takes the byID map lookup.
+	node *Node
 	// flows is the replica's stateful LB state (nil for stateless
 	// services), bound to the hosting device's role control module.
 	flows *flowState
@@ -218,12 +253,22 @@ type Node struct {
 	// aware routing.
 	busyUntil sim.Time
 	replicas  map[string]*Replica
+	// svcCounts tracks replicas per service (anti-affinity input),
+	// maintained at admit/evict so placement never iterates replicas.
+	svcCounts map[string]int
+	// hostErr caches the static placement-compatibility outcome per
+	// service (see staticHostErr).
+	hostErr map[string]error
 	// flows holds the stateful replicas' connection-table state, keyed
 	// by replica name.
 	flows map[string]*flowState
 	// shard is the router shard owning this node's dispatch state
 	// (assigned when the router freezes its shard layout).
 	shard int
+	// rack is the node's rack (assigned at the same freeze); index is
+	// the commission order position — the gossip member id.
+	rack  int
+	index int
 }
 
 // State reports the node's health state.
@@ -276,6 +321,12 @@ type Cluster struct {
 	transitions   []Transition
 	failovers     []FailoverReport
 	router        *router
+	// racks is the rack tier (frozen alongside the router's shard
+	// layout); gossip is the SWIM detector, built lazily on the first
+	// gossip-mode heartbeat; gossipEvents is its fleet-level event log.
+	racks        *rackTier
+	gossip       *gossip.Group
+	gossipEvents []GossipEvent
 	// budget is the fleet-wide concurrent PR-load cap and its grant log.
 	budget *reconfigBudget
 	// prLoadFault, when set, decides per-attempt bitstream load failures
@@ -299,12 +350,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 ||
 		cfg.RouterShards < 0 || cfg.HeartbeatCohorts < 0 || cfg.ServeWorkers < 0 ||
 		cfg.SnapshotEvery < 0 || cfg.MaxConcurrentLoads < 0 ||
-		cfg.LoadRetries < 0 || cfg.LoadBackoff < 0 {
+		cfg.LoadRetries < 0 || cfg.LoadBackoff < 0 ||
+		cfg.Racks < 0 || cfg.GossipFanout < 0 || cfg.GossipPiggyback < 0 ||
+		cfg.SuspectAfter < 0 {
 		return nil, fmt.Errorf("fleet: invalid config %+v", cfg)
 	}
 	if cfg.ShedStartMilliC > 0 && cfg.ShedStartMilliC >= cfg.DegradeMilliC {
 		return nil, fmt.Errorf("fleet: shed start %d must be below the %d alarm threshold",
 			cfg.ShedStartMilliC, cfg.DegradeMilliC)
+	}
+	if cfg.RackP2C && cfg.RouterShards > 0 {
+		return nil, fmt.Errorf("fleet: RackP2C nests the shard layout in the racks; RouterShards must be 0")
 	}
 	c := &Cluster{
 		cfg:       cfg,
@@ -314,6 +370,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		snapshots: make(map[string]flowSnap),
 	}
 	c.router = newRouter(c, cfg.Seed)
+	c.racks = &rackTier{c: c}
 	c.budget = &reconfigBudget{limit: cfg.MaxConcurrentLoads}
 	c.reg = obs.NewRegistry()
 	c.registerMetrics()
@@ -563,9 +620,10 @@ func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
 		ID: id, Platform: plat, Project: proj, Inst: inst,
 		Net: netRBB, Host: hostRBB,
 		slotRes: slotRes, slots: slots,
-		state:    Healthy,
-		replicas: make(map[string]*Replica),
-		flows:    make(map[string]*flowState),
+		state:     Healthy,
+		replicas:  make(map[string]*Replica),
+		svcCounts: make(map[string]int),
+		flows:     make(map[string]*flowState),
 	}
 	if slots > 0 {
 		mgr, err := tenancy.NewManager(tenancy.SlotConfig{
@@ -586,10 +644,20 @@ func (c *Cluster) Commission(id string, plat *platform.Device) (*Node, error) {
 	if c.cmdTrack != nil {
 		inst.SetCmdTrace(c.cmdTrack)
 	}
+	n.index = len(c.nodes)
 	// Nodes commissioned after the router froze its shard layout join
-	// shards round-robin by commission index.
+	// racks and shards round-robin by commission index (with RackP2C
+	// the shard is the rack).
 	if c.router.frozen {
-		n.shard = len(c.nodes) % len(c.router.shards)
+		n.rack = c.racks.join(n.index)
+		if c.cfg.RackP2C {
+			n.shard = n.rack
+		} else {
+			n.shard = n.index % len(c.router.shards)
+		}
+	}
+	if c.gossip != nil {
+		c.gossip.Add()
 	}
 	c.nodes = append(c.nodes, n)
 	c.byID[id] = n

@@ -98,6 +98,17 @@ func (c *Cluster) setStateDone(now, completed sim.Time, n *Node, to State, reaso
 	from := n.state
 	n.state = to
 	c.router.idx.noteState(n, from, to)
+	// Keep the gossip detector's membership view in step: nodes dead to
+	// the fleet stop being probed, revived nodes rejoin with a fresh
+	// incarnation.
+	if c.gossip != nil {
+		switch {
+		case to == Failed || to == Drained:
+			c.gossip.MarkDead(n.index)
+		case from == Failed || from == Drained:
+			c.gossip.Reset(n.index)
+		}
+	}
 	if c.ctrl != nil {
 		e := obs.Instant(obs.CatHealth, string(from)+"->"+string(to), now)
 		e.K1, e.V1 = "node", n.ID
@@ -136,6 +147,11 @@ func (c *Cluster) cohorts() int {
 func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	c.advance(now)
 	c.router.idx.mature(now)
+	if c.cfg.GossipHealth {
+		t := c.gossipHeartbeat(now)
+		c.rackRefresh(now)
+		return t
+	}
 	before := len(c.transitions)
 	cohortCount := c.cohorts()
 	cohort := int(c.hbTick % int64(cohortCount))
@@ -179,6 +195,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 		e.K3, e.V3 = "probed", int64(probed)
 		c.ctrl.Add(e)
 	}
+	c.rackRefresh(now)
 	return c.transitions[before:]
 }
 
@@ -255,7 +272,8 @@ func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) Fai
 		}
 		c.router.idx.noteRemove(r, n)
 		delete(n.replicas, r.Name())
-		r.Node, r.Tenant, r.ReadyAt = "", 0, 0
+		n.svcCounts[r.Service]--
+		r.Node, r.node, r.Tenant, r.ReadyAt = "", nil, 0, 0
 		// A candidate whose bitstream load fails every retry is struck
 		// off and the replica falls back to the next-best device, up to
 		// replaceAttempts candidates.

@@ -43,6 +43,14 @@ const (
 	mMigrations    = "harmonia_migrations_total"
 	mThermalMax    = "harmonia_thermal_max_milli_c"
 	mSimNow        = "harmonia_sim_now_ps"
+
+	mGossipTicks    = "harmonia_gossip_ticks_total"
+	mGossipProbes   = "harmonia_gossip_probes_total"
+	mGossipDigests  = "harmonia_gossip_digests_total"
+	mGossipSuspects = "harmonia_gossip_suspicions_total"
+	mGossipRefutes  = "harmonia_gossip_refutations_total"
+	mGossipConfirms = "harmonia_gossip_confirmations_total"
+	mGossipPerTick  = "harmonia_gossip_msgs_per_tick"
 )
 
 // registerMetrics wires every layer's live counters into the registry
@@ -134,6 +142,28 @@ func (c *Cluster) registerMetrics() {
 		func() int64 { return c.rawLoadFailures() })
 	reg.Gauge(mLoadsPeak, "Peak concurrent PR loads since the last budget reset.",
 		func() float64 { return float64(peakConcurrent(c.budget.events)) })
+
+	// Gossip health dissemination (all zero while the detector is off).
+	reg.Counter(mGossipTicks, "Gossip detector protocol rounds.",
+		func() int64 { return c.rawGossipStats().Ticks })
+	reg.Counter(mGossipProbes, "Direct gossip probes (rotation plus confirmation).",
+		func() int64 { return c.rawGossipStats().Probes })
+	reg.Counter(mGossipDigests, "Piggybacked peer liveness observations.",
+		func() int64 { return c.rawGossipStats().Digests })
+	reg.Counter(mGossipSuspects, "Gossip suspicion events.",
+		func() int64 { return c.rawGossipStats().Suspicions })
+	reg.Counter(mGossipRefutes, "Gossip refutation events (incarnation bumps).",
+		func() int64 { return c.rawGossipStats().Refutations })
+	reg.Counter(mGossipConfirms, "Gossip dead-confirmation events.",
+		func() int64 { return c.rawGossipStats().Confirmations })
+	reg.Gauge(mGossipPerTick, "Mean gossip messages (probes+digests) per tick.",
+		func() float64 {
+			s := c.rawGossipStats()
+			if s.Ticks == 0 {
+				return 0
+			}
+			return float64(s.Probes+s.Digests) / float64(s.Ticks)
+		})
 
 	// Flow migration, split by path.
 	for _, mode := range []string{"live", "snapshot"} {

@@ -41,6 +41,7 @@ func TestChaosTraceDeterministicAndValid(t *testing.T) {
 	}
 	stats, err := obs.ValidateTrace(a, []obs.Cat{
 		obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat, obs.CatMigration, obs.CatFault,
+		obs.CatRack, obs.CatGossip,
 	})
 	if err != nil {
 		t.Fatalf("trace failed validation: %v", err)

@@ -21,7 +21,11 @@ import (
 // fullest device (best-fit bin-packing maximizes slot co-residency).
 
 // canHost reports whether a node can take one replica of the service
-// right now, with the reason when it cannot.
+// right now, with the reason when it cannot. The structural checks
+// (peripheral demands, PCIe floor, slot budget) depend only on the
+// node's platform and the service definition, so their outcome is
+// computed once per (node, service) pair and cached; only the health
+// state and free-slot checks are evaluated live.
 func (c *Cluster) canHost(n *Node, svc *Service) error {
 	if n.state != Healthy {
 		return fmt.Errorf("node %s is %s", n.ID, n.state)
@@ -29,61 +33,81 @@ func (c *Cluster) canHost(n *Node, svc *Service) error {
 	if n.Tenants == nil || n.Tenants.FreeSlots() == 0 {
 		return fmt.Errorf("node %s has no free slot", n.ID)
 	}
-	if _, err := adaptDemands(n.Platform, svc.Demands); err != nil {
+	return n.staticHostErr(svc)
+}
+
+// staticHostErr evaluates (and caches) the placement checks that never
+// change after commission: peripheral adaptation, the PCIe generation
+// floor, and the slot resource budget.
+func (n *Node) staticHostErr(svc *Service) error {
+	if err, ok := n.hostErr[svc.Name]; ok {
 		return err
 	}
-	if svc.MinPCIeGen > 0 {
-		p, ok := n.Platform.PCIe()
-		if !ok || p.PCIeGen < svc.MinPCIeGen {
-			return fmt.Errorf("node %s is below PCIe gen %d", n.ID, svc.MinPCIeGen)
+	err := func() error {
+		if _, err := adaptDemands(n.Platform, svc.Demands); err != nil {
+			return err
 		}
+		if svc.MinPCIeGen > 0 {
+			p, ok := n.Platform.PCIe()
+			if !ok || p.PCIeGen < svc.MinPCIeGen {
+				return fmt.Errorf("node %s is below PCIe gen %d", n.ID, svc.MinPCIeGen)
+			}
+		}
+		logic := foldURAM(svc.Logic, n.Platform.Chip.Capacity.URAM > 0)
+		if logic.Utilization(n.slotRes) > 1 {
+			return fmt.Errorf("replica logic exceeds %s slot budget (%s > %s)",
+				n.ID, logic.String(), n.slotRes.String())
+		}
+		return nil
+	}()
+	if n.hostErr == nil {
+		n.hostErr = make(map[string]error)
 	}
-	logic := foldURAM(svc.Logic, n.Platform.Chip.Capacity.URAM > 0)
-	if logic.Utilization(n.slotRes) > 1 {
-		return fmt.Errorf("replica logic exceeds %s slot budget (%s > %s)",
-			n.ID, logic.String(), n.slotRes.String())
-	}
-	return nil
+	n.hostErr[svc.Name] = err
+	return err
 }
 
-// serviceCount reports how many replicas of one service a node hosts.
+// serviceCount reports how many replicas of one service a node hosts,
+// from the count maintained at admit/evict time.
 func (n *Node) serviceCount(service string) int {
-	count := 0
-	for _, r := range n.replicas {
-		if r.Service == service {
-			count++
-		}
-	}
-	return count
+	return n.svcCounts[service]
 }
 
-// pickNode selects the placement target for one replica, or nil.
+// pickNode selects the placement target for one replica, or nil. The
+// selection order — anti-affinity (fewest replicas of this service),
+// then best-fit (fewest free slots, packing the fullest device), then
+// node ID — is a total order, so the single min-scan below picks the
+// same node the previous sort-and-take-first implementation did while
+// keeping placement O(N) per replica instead of O(N log N).
 func (c *Cluster) pickNode(svc *Service, exclude map[string]bool) *Node {
-	var candidates []*Node
+	var best *Node
+	var bestSvc, bestFree int
 	for _, n := range c.nodes {
 		if exclude[n.ID] {
 			continue
 		}
-		if err := c.canHost(n, svc); err == nil {
-			candidates = append(candidates, n)
+		if err := c.canHost(n, svc); err != nil {
+			continue
+		}
+		sc, free := n.serviceCount(svc.Name), n.Tenants.FreeSlots()
+		if best == nil {
+			best, bestSvc, bestFree = n, sc, free
+			continue
+		}
+		switch {
+		case sc != bestSvc:
+			if sc < bestSvc {
+				best, bestSvc, bestFree = n, sc, free
+			}
+		case free != bestFree:
+			if free < bestFree {
+				best, bestSvc, bestFree = n, sc, free
+			}
+		case n.ID < best.ID:
+			best, bestSvc, bestFree = n, sc, free
 		}
 	}
-	if len(candidates) == 0 {
-		return nil
-	}
-	sort.Slice(candidates, func(i, j int) bool {
-		a, b := candidates[i], candidates[j]
-		// Anti-affinity first: fewest replicas of this service.
-		if sa, sb := a.serviceCount(svc.Name), b.serviceCount(svc.Name); sa != sb {
-			return sa < sb
-		}
-		// Then best-fit: fewest free slots (pack the fullest device).
-		if fa, fb := a.Tenants.FreeSlots(), b.Tenants.FreeSlots(); fa != fb {
-			return fa < fb
-		}
-		return a.ID < b.ID
-	})
-	return candidates[0]
+	return best
 }
 
 // admit places one replica on a node through the node's tenancy
@@ -111,9 +135,11 @@ func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
 	c.budget.commit(now, start, t.ReadyAt, n.ID, true)
 	c.tracePRLoad(now, start, t.ReadyAt, n.ID, true)
 	r.Node = n.ID
+	r.node = n
 	r.Tenant = t.ID
 	r.ReadyAt = t.ReadyAt
 	n.replicas[r.Name()] = r
+	n.svcCounts[r.Service]++
 	c.attachFlowState(n, r)
 	c.router.idx.noteAdmit(r, now)
 	return nil

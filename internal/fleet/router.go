@@ -116,7 +116,13 @@ func newRouter(c *Cluster, seed int64) *router {
 // current fleet size. One shard per autoShardNodes nodes keeps the
 // two-choice sampling pool large while bounding merge fan-in; small
 // fleets get a single shard, preserving fleet-wide two-choice exactly.
+// With RackP2C the shard layout nests in the racks — one shard per
+// rack, uncapped, so a shard's nodes stay one contiguous rack no
+// matter how large the fleet grows.
 func (r *router) shardCount() int {
+	if r.c.cfg.RackP2C {
+		return r.c.rackCount(len(r.c.nodes))
+	}
 	if s := r.c.cfg.RouterShards; s > 0 {
 		return s
 	}
@@ -137,6 +143,7 @@ func (r *router) freeze() {
 		return
 	}
 	r.frozen = true
+	r.c.racks.freeze()
 	s := r.shardCount()
 	r.shards = make([]*routerShard, s)
 	for i := range r.shards {
@@ -145,10 +152,17 @@ func (r *router) freeze() {
 		}
 	}
 	for i, n := range r.c.nodes {
-		n.shard = i % s
+		if r.c.cfg.RackP2C {
+			// Shard = rack: the in-shard two-choice below becomes the
+			// in-rack router, over one contiguous block of nodes.
+			n.shard = r.c.racks.rackOf[i]
+		} else {
+			n.shard = i % s
+		}
 	}
 	r.idx.freeze(s)
 	r.c.attachShardTraces()
+	r.c.rackRefresh(r.c.now)
 }
 
 // Dispatch is the outcome of routing one packet.
@@ -210,7 +224,7 @@ func (c *Cluster) pickTwoChoice(sh *routerShard, cands []*Replica, now sim.Time)
 			j++
 		}
 		a, b := cands[i], cands[j]
-		ca, cb := c.router.cost(c.byID[a.Node], now), c.router.cost(c.byID[b.Node], now)
+		ca, cb := c.router.cost(a.node, now), c.router.cost(b.node, now)
 		switch {
 		case ca < cb:
 			pick = a
@@ -239,7 +253,7 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 		return
 	}
 	pick := c.pickTwoChoice(sh, cands, now)
-	n := c.byID[pick.Node]
+	n := pick.node
 	p.DstIP = pick.VIP
 	if _, _, err := n.Tenants.Route(p); err != nil {
 		sh.dropped++
@@ -273,14 +287,48 @@ func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p 
 	}
 }
 
+// dispatchShard maps a flow hash onto the shard that will route it,
+// over the shards currently holding ready replicas. Default: uniform
+// by flow hash. RackP2C: two hash-derived candidate racks compete on
+// their barrier-frozen backlog-per-ready-replica digests and the
+// cheaper rack wins (shard = rack) — rack-first power-of-two-choices
+// whose cost is O(1) in the fleet size. Both candidate indices come
+// from disjoint bit slices of the flow hash, so dispatch is RNG-free
+// and identical for a flow no matter which worker routes it.
+func (r *router) dispatchShard(si *svcIndex, h uint64) int {
+	act := si.active
+	if !r.c.cfg.RackP2C || len(act) < 2 {
+		return act[int(h%uint64(len(act)))]
+	}
+	i := int(h % uint64(len(act)))
+	j := int((h >> 21) % uint64(len(act)-1))
+	if j >= i {
+		j++
+	}
+	a, b := act[i], act[j]
+	// Compare backlog per ready replica without division:
+	// queue[a]/|ready[a]| vs queue[b]/|ready[b]| cross-multiplied.
+	qa := int64(r.c.racks.queue[a]) * int64(len(si.ready[b]))
+	qb := int64(r.c.racks.queue[b]) * int64(len(si.ready[a]))
+	switch {
+	case qa < qb:
+		return a
+	case qb < qa:
+		return b
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
 // shardFor maps a flow onto a shard holding ready replicas of the
 // service; ok is false when no shard does.
 func (r *router) shardFor(si *svcIndex, p *net.Packet) (int, bool) {
 	if len(si.active) == 0 {
 		return 0, false
 	}
-	h := p.Flow().Hash()
-	return si.active[int(h%uint64(len(si.active)))], true
+	return r.dispatchShard(si, p.Flow().Hash()), true
 }
 
 // Route dispatches one packet of a service's traffic across the fleet
@@ -305,7 +353,7 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	cands := si.ready[s]
 	sh.sent++
 	pick := c.pickTwoChoice(sh, cands, now)
-	n := c.byID[pick.Node]
+	n := pick.node
 	p.DstIP = pick.VIP
 	queue, _, err := n.Tenants.Route(p)
 	if err != nil {

@@ -140,6 +140,7 @@ func (ph *Phase) Run() (PhaseStats, error) {
 	r := c.router
 	r.freeze()
 	r.idx.mature(c.now)
+	c.rackRefresh(c.now)
 
 	workers := c.cfg.ServeWorkers
 	if workers <= 0 {
@@ -207,7 +208,7 @@ func (ph *Phase) runQuantum(queues [][]int, work *[]int, i, j, workers int) {
 		h := ph.pkts[k].Flow().Hash()
 		var s int
 		if len(active) > 0 {
-			s = active[int(h%uint64(len(active)))]
+			s = r.dispatchShard(si, h)
 		} else {
 			// Nothing can serve: spread the drops over all shards so
 			// counters stay shard-consistent.

@@ -50,6 +50,12 @@ const (
 	CatFault Cat = "fault"
 	// CatCmd covers command-path retransmissions and drops.
 	CatCmd Cat = "cmd"
+	// CatRack covers rack-tier digest refreshes on the rack-first
+	// dispatch path.
+	CatRack Cat = "rack"
+	// CatGossip covers SWIM detector events: suspected, refuted,
+	// confirmed.
+	CatGossip Cat = "gossip"
 )
 
 // Event phase codes (Chrome trace-event "ph" field).
