@@ -216,8 +216,11 @@ func runDrill(w io.Writer, cfg fleet.Config, app string, n int, t fleet.Traffic)
 
 // runBench runs the fleet3 control-plane overhead sweep (default sizes
 // include the 10000-node scale point), prints the scaling table, writes
-// the machine-readable report, and gates on the rack path staying flat
-// from 1k to 10k nodes.
+// the machine-readable report, and gates on three invariants: the rack
+// path staying flat from 1k to 10k nodes, per-packet allocations on
+// both batched paths staying under bench.AllocBound at every swept
+// size, and the batched fast path staying under bench.FastBatchedBoundNs
+// at the 1000-node point.
 func runBench(w io.Writer, o options) error {
 	sizes, err := parseSizes(o.nodes)
 	if err != nil {
@@ -237,9 +240,12 @@ func runBench(w io.Writer, o options) error {
 		"base-ns/pkt", "fast-ns/pkt", "rack-ns/pkt",
 		"fast-allocs", "rack-allocs", "speedup")
 	for _, p := range rep.Points {
-		baseNs, speedup := fmt.Sprintf("%.0f", p.BaselineNsPerPkt), fmt.Sprintf("%.1f", p.SpeedupWall)
-		if p.BaselineSkipped {
-			baseNs, speedup = "-", "-"
+		baseNs, speedup := "-", "-"
+		if p.BaselineNsPerPkt != nil {
+			baseNs = fmt.Sprintf("%.0f", *p.BaselineNsPerPkt)
+		}
+		if p.SpeedupWall != nil {
+			speedup = fmt.Sprintf("%.1f", *p.SpeedupWall)
 		}
 		fmt.Fprintf(w, "%-7d %-7d %-7d %-8d %-9d %-13s %-13.0f %-13.0f %-12.3f %-12.3f %-9s\n",
 			p.Nodes, p.Shards, p.Racks, p.Cohorts, p.Packets,
@@ -249,6 +255,11 @@ func runBench(w io.Writer, o options) error {
 	if rep.RackFlatRatio > 0 {
 		fmt.Fprintf(w, "\nrack flat 10k/1k: %.3f (bound %.2f): %v\n",
 			rep.RackFlatRatio, rep.RackFlatBound, rep.RackFlat)
+	}
+	fmt.Fprintf(w, "allocs/pkt <= %.2f at every size: %v\n", rep.AllocBound, rep.AllocsFlat)
+	if rep.FastGateNsPerPkt > 0 {
+		fmt.Fprintf(w, "fast path at %d nodes: %.1f ns/pkt (bound %.0f): %v\n",
+			rep.FastGateNodes, rep.FastGateNsPerPkt, rep.FastGateBoundNs, rep.FastGate)
 	}
 	if o.jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -263,6 +274,14 @@ func runBench(w io.Writer, o options) error {
 	if !rep.RackFlat {
 		return fmt.Errorf("rack path not flat: 10k/1k ns/pkt ratio %.3f exceeds %.2f",
 			rep.RackFlatRatio, rep.RackFlatBound)
+	}
+	if !rep.AllocsFlat {
+		return fmt.Errorf("allocation gate failed: a swept size exceeds %.2f allocs/pkt on the fast or rack path",
+			rep.AllocBound)
+	}
+	if !rep.FastGate {
+		return fmt.Errorf("fast path too slow at %d nodes: %.1f ns/pkt exceeds %.0f",
+			rep.FastGateNodes, rep.FastGateNsPerPkt, rep.FastGateBoundNs)
 	}
 	return nil
 }

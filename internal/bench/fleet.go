@@ -62,6 +62,28 @@ const cpBaselineMax = 1000
 // per-packet dispatch cost must not scale with the fleet.
 const RackFlatBound = 1.25
 
+// AllocBound is the fleet3 allocation gate: the batched fast path and
+// the rack path must stay at or below this many heap allocations per
+// routed packet at every swept size of at least AllocGateMinNodes —
+// per-packet dispatch must not allocate; the residual budget covers
+// barrier-time control-plane work amortized over the phase. Below the
+// floor a 50 µs phase routes too few packets (hundreds) for the
+// per-barrier dispatch-view rebuild to amortize, so toy sweeps are
+// exempt.
+const (
+	AllocBound        = 0.05
+	AllocGateMinNodes = 100
+)
+
+// FastBatchedBoundNs and FastBatchedGateNodes are the fleet3 batched-
+// dispatch gate: the fast path's wall-ns per packet at the 1000-node
+// point must stay at or below the bound (the pre-batching point
+// measured ~1771 ns/pkt there).
+const (
+	FastBatchedBoundNs   = 800.0
+	FastBatchedGateNodes = 1000
+)
+
 // Fixed fleet3 workload: a short phase keeps the serial baseline at
 // 1000 nodes affordable in CI while still routing tens of thousands of
 // packets per point.
@@ -84,15 +106,18 @@ type ControlPlanePoint struct {
 	Packets int64 `json:"packets"`
 
 	// BaselineSkipped marks points above cpBaselineMax, where the
-	// serial scan is no longer affordable (or interesting).
+	// serial scan is no longer affordable (or interesting). The
+	// baseline-derived fields below are pointers so skipped points omit
+	// them entirely instead of emitting a 0 that downstream tooling
+	// would read as a 0 ns baseline.
 	BaselineSkipped bool `json:"baseline_skipped,omitempty"`
 
-	BaselineNsPerPkt     float64 `json:"baseline_ns_per_pkt"`
-	FastNsPerPkt         float64 `json:"fast_ns_per_pkt"`
-	BaselineAllocsPerPkt float64 `json:"baseline_allocs_per_pkt"`
-	FastAllocsPerPkt     float64 `json:"fast_allocs_per_pkt"`
-	SpeedupWall          float64 `json:"speedup_wall"`
-	AllocReduction       float64 `json:"alloc_reduction"`
+	BaselineNsPerPkt     *float64 `json:"baseline_ns_per_pkt,omitempty"`
+	FastNsPerPkt         float64  `json:"fast_ns_per_pkt"`
+	BaselineAllocsPerPkt *float64 `json:"baseline_allocs_per_pkt,omitempty"`
+	FastAllocsPerPkt     float64  `json:"fast_allocs_per_pkt"`
+	SpeedupWall          *float64 `json:"speedup_wall,omitempty"`
+	AllocReduction       *float64 `json:"alloc_reduction,omitempty"`
 
 	// Rack path: RackP2C dispatch with gossip health, the
 	// configuration the 10k point scales on.
@@ -101,9 +126,9 @@ type ControlPlanePoint struct {
 
 	// Goodput on every path — the sanity check that the cheaper paths
 	// routed the same workload, not a cheaper one.
-	BaselineGoodputGbps float64 `json:"baseline_goodput_gbps"`
-	FastGoodputGbps     float64 `json:"fast_goodput_gbps"`
-	RackGoodputGbps     float64 `json:"rack_goodput_gbps"`
+	BaselineGoodputGbps *float64 `json:"baseline_goodput_gbps,omitempty"`
+	FastGoodputGbps     float64  `json:"fast_goodput_gbps"`
+	RackGoodputGbps     float64  `json:"rack_goodput_gbps"`
 }
 
 // ControlPlaneReport is the machine-readable fleet3 artifact
@@ -121,6 +146,19 @@ type ControlPlaneReport struct {
 	RackFlatRatio float64 `json:"rack_flat_ratio"`
 	RackFlatBound float64 `json:"rack_flat_bound"`
 	RackFlat      bool    `json:"rack_flat"`
+
+	// Allocation gate: fast and rack allocs/pkt at or below AllocBound
+	// at every swept size.
+	AllocBound float64 `json:"alloc_bound"`
+	AllocsFlat bool    `json:"allocs_flat"`
+
+	// Batched-dispatch gate: fast-path ns/pkt at FastBatchedGateNodes
+	// at or below FastBatchedBoundNs. True (ns 0) when the sweep did
+	// not cover that size.
+	FastGateNodes    int     `json:"fast_gate_nodes"`
+	FastGateBoundNs  float64 `json:"fast_gate_bound_ns"`
+	FastGateNsPerPkt float64 `json:"fast_gate_ns_per_pkt,omitempty"`
+	FastGate         bool    `json:"fast_gate"`
 }
 
 // gateRackFlat computes the scale gate over the sweep's points.
@@ -139,6 +177,36 @@ func (r *ControlPlaneReport) gateRackFlat() {
 	if at1k > 0 && at10k > 0 {
 		r.RackFlatRatio = at10k / at1k
 		r.RackFlat = r.RackFlatRatio <= RackFlatBound
+	}
+}
+
+// gateAllocs computes the allocation gate: every swept fleet-scale
+// point's fast and rack paths must route without per-packet heap
+// allocation.
+func (r *ControlPlaneReport) gateAllocs() {
+	r.AllocBound = AllocBound
+	r.AllocsFlat = true
+	for _, p := range r.Points {
+		if p.Nodes < AllocGateMinNodes {
+			continue
+		}
+		if p.FastAllocsPerPkt > AllocBound || p.RackAllocsPerPkt > AllocBound {
+			r.AllocsFlat = false
+		}
+	}
+}
+
+// gateFastBatched computes the batched-dispatch gate at the 1000-node
+// point.
+func (r *ControlPlaneReport) gateFastBatched() {
+	r.FastGateNodes = FastBatchedGateNodes
+	r.FastGateBoundNs = FastBatchedBoundNs
+	r.FastGate = true
+	for _, p := range r.Points {
+		if p.Nodes == FastBatchedGateNodes {
+			r.FastGateNsPerPkt = p.FastNsPerPkt
+			r.FastGate = p.FastNsPerPkt <= FastBatchedBoundNs
+		}
 	}
 }
 
@@ -217,8 +285,9 @@ func ControlPlaneSweep(sizes []int) ([]ControlPlanePoint, error) {
 			if err != nil {
 				return out, err
 			}
-			p.BaselineNsPerPkt, p.BaselineAllocsPerPkt = bNs, bAllocs
-			p.BaselineGoodputGbps = bst.GoodputGbps
+			goodput := bst.GoodputGbps
+			p.BaselineNsPerPkt, p.BaselineAllocsPerPkt = &bNs, &bAllocs
+			p.BaselineGoodputGbps = &goodput
 		} else {
 			p.BaselineSkipped = true
 		}
@@ -255,11 +324,13 @@ func ControlPlaneSweep(sizes []int) ([]ControlPlanePoint, error) {
 		p.RackNsPerPkt, p.RackAllocsPerPkt = rNs, rAllocs
 		p.RackGoodputGbps = rst.GoodputGbps
 
-		if fNs > 0 && !p.BaselineSkipped {
-			p.SpeedupWall = p.BaselineNsPerPkt / fNs
+		if fNs > 0 && p.BaselineNsPerPkt != nil {
+			spd := *p.BaselineNsPerPkt / fNs
+			p.SpeedupWall = &spd
 		}
-		if fAllocs > 0 && !p.BaselineSkipped {
-			p.AllocReduction = p.BaselineAllocsPerPkt / fAllocs
+		if fAllocs > 0 && p.BaselineAllocsPerPkt != nil {
+			red := *p.BaselineAllocsPerPkt / fAllocs
+			p.AllocReduction = &red
 		}
 		out = append(out, p)
 	}
@@ -282,6 +353,8 @@ func FleetControlPlaneReport(sizes []int) (*ControlPlaneReport, error) {
 		Points: pts,
 	}
 	rep.gateRackFlat()
+	rep.gateAllocs()
+	rep.gateFastBatched()
 	return rep, nil
 }
 
@@ -300,9 +373,9 @@ func FleetControlPlane() (*metrics.Figure, error) {
 	}
 	for _, p := range pts {
 		x := float64(p.Nodes)
-		if !p.BaselineSkipped {
-			bNs.Add(x, p.BaselineNsPerPkt)
-			bAl.Add(x, p.BaselineAllocsPerPkt)
+		if p.BaselineNsPerPkt != nil {
+			bNs.Add(x, *p.BaselineNsPerPkt)
+			bAl.Add(x, *p.BaselineAllocsPerPkt)
 		}
 		fNs.Add(x, p.FastNsPerPkt)
 		rNs.Add(x, p.RackNsPerPkt)

@@ -88,6 +88,12 @@ type Config struct {
 	// ServeWorkers caps the goroutines Serve fans shards out to.
 	// 0 uses GOMAXPROCS. The worker count never changes results.
 	ServeWorkers int
+	// BatchQuantum caps how many packets one dispatch run drains
+	// between control-plane barriers before Serve re-partitions
+	// (0 = 8192). No control-plane work runs at a quantum split and the
+	// flow caches survive it, so seeded results are identical for every
+	// quantum size — the knob only shapes working-set locality.
+	BatchQuantum int
 	// MigrateFlows carries stateful services' connection tables across
 	// failover: planned drains read the live table over the command
 	// path, dead-node failover falls back to the last periodic
@@ -265,6 +271,12 @@ type Node struct {
 	// shard is the router shard owning this node's dispatch state
 	// (assigned when the router freezes its shard layout).
 	shard int
+	// hotEpoch/hotSlot place the node in its shard's SoA hot-state
+	// slice for the given dispatch epoch (router.go: refreshDisp). Only
+	// the owning shard's worker touches them, so replicas of different
+	// services sharing a node share one backlog mirror without locks.
+	hotEpoch uint64
+	hotSlot  int32
 	// rack is the node's rack (assigned at the same freeze); index is
 	// the commission order position — the gossip member id.
 	rack  int
@@ -349,6 +361,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Heartbeat <= 0 || cfg.FailedAfter <= 0 || cfg.MaxSlots <= 0 ||
 		cfg.QueuesPerTenant <= 0 || cfg.ReconfigTime <= 0 ||
 		cfg.RouterShards < 0 || cfg.HeartbeatCohorts < 0 || cfg.ServeWorkers < 0 ||
+		cfg.BatchQuantum < 0 ||
 		cfg.SnapshotEvery < 0 || cfg.MaxConcurrentLoads < 0 ||
 		cfg.LoadRetries < 0 || cfg.LoadBackoff < 0 ||
 		cfg.Racks < 0 || cfg.GossipFanout < 0 || cfg.GossipPiggyback < 0 ||

@@ -97,6 +97,10 @@ func (c *Cluster) setStateDone(now, completed sim.Time, n *Node, to State, reaso
 	})
 	from := n.state
 	n.state = to
+	// Every health transition invalidates the dispatch views — even a
+	// routability-preserving one (healthy↔degraded) changes the frozen
+	// cost penalty the SoA view carries.
+	c.router.bumpEpoch()
 	c.router.idx.noteState(n, from, to)
 	// Keep the gossip detector's membership view in step: nodes dead to
 	// the fleet stop being probed, revived nodes rejoin with a fresh
@@ -146,6 +150,9 @@ func (c *Cluster) cohorts() int {
 // transitions this sweep caused.
 func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	c.advance(now)
+	// A heartbeat is a control-plane barrier: backlog mirrors, frozen
+	// penalties (lastTemp moves below) and flow caches all go stale.
+	c.router.bumpEpoch()
 	c.router.idx.mature(now)
 	if c.cfg.GossipHealth {
 		t := c.gossipHeartbeat(now)

@@ -43,6 +43,10 @@ type svcIndex struct {
 	// the flow-hash remap target set, so flows never hash onto a shard
 	// that has nothing to serve.
 	active []int
+	// disp holds each shard's flattened dispatch view (router.go). The
+	// slice is sized here, on the serial path, so the per-shard lazy
+	// rebuilds only ever index into it — workers never append.
+	disp []shardDisp
 }
 
 // replicaIndex is the cluster-wide incremental index.
@@ -80,19 +84,25 @@ func (idx *replicaIndex) freeze(shards int) {
 func (idx *replicaIndex) svc(name string) *svcIndex {
 	si, ok := idx.svcs[name]
 	if !ok {
-		si = &svcIndex{ready: make([][]*Replica, idx.shards)}
+		si = &svcIndex{
+			ready: make([][]*Replica, idx.shards),
+			disp:  make([]shardDisp, idx.shards),
+		}
 		idx.svcs[name] = si
 	}
 	return si
 }
 
-// addReady appends a matured replica to its shard's ready list.
+// addReady appends a matured replica to its shard's ready list. Any
+// ready-list change is a placement transition: the dispatch epoch
+// bumps so stale shard views and flow caches die lazily.
 func (idx *replicaIndex) addReady(r *Replica, shard int) {
 	si := idx.svc(r.Service)
 	if len(si.ready[shard]) == 0 {
 		si.activate(shard)
 	}
 	si.ready[shard] = append(si.ready[shard], r)
+	idx.c.router.bumpEpoch()
 }
 
 // activate inserts a shard id into the sorted active list.
@@ -151,6 +161,7 @@ func (idx *replicaIndex) noteRemove(r *Replica, n *Node) {
 			if len(si.ready[n.shard]) == 0 {
 				si.deactivate(n.shard)
 			}
+			idx.c.router.bumpEpoch()
 			return
 		}
 	}

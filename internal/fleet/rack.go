@@ -111,6 +111,10 @@ func (rt *rackTier) refresh(now sim.Time) {
 	}
 	rt.refreshedAt = now
 	rt.refreshes++
+	// A digest refresh is a barrier by definition; make sure the shard
+	// dispatch views and flow caches refresh with it even when a caller
+	// reaches refresh() outside the heartbeat path.
+	rt.c.router.bumpEpoch()
 	var maxQ sim.Time
 	for r := range rt.queue {
 		var q sim.Time

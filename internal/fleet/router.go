@@ -42,6 +42,12 @@ const autoShardNodes = 64
 // configured seed, matching the pre-shard router stream).
 const shardSeedStride int64 = 0x5851F42D4C957F2D
 
+// flowCacheSize is the per-(service, shard) flow route cache capacity —
+// a direct-mapped, power-of-two table of cached candidate pairs. 512
+// entries cover the default 256-flow traffic shapes without conflict
+// evictions while costing 16KB per shard.
+const flowCacheSize = 512
+
 // routerShard is the dispatch state one worker owns during a phase.
 type routerShard struct {
 	rng *rand.Rand
@@ -60,6 +66,84 @@ type routerShard struct {
 	trace       *obs.Buffer
 	sampleN     int
 	sinceSample int
+	// hot is the shard's SoA view of its nodes' dispatch-hot state
+	// (backlog horizon, penalty, health), rebuilt lazily per dispatch
+	// epoch; hotEpoch records which epoch built it. Slots are assigned
+	// through Node.hotSlot as services refresh their dispatch views, so
+	// replicas sharing a node share one backlog mirror.
+	hot      []nodeHot
+	hotEpoch uint64
+}
+
+// nodeHot is one node's dispatch-hot state, flattened into the owning
+// shard's slice at dispatch-view refreshes: the live backlog mirror
+// plus the frozen cost and health inputs the per-packet loop reads,
+// contiguous instead of four pointer chases through Node. busy writes
+// through to Node.busyUntil on every served packet, so control-plane
+// digests never see a stale view.
+type nodeHot struct {
+	n    *Node
+	busy sim.Time
+	// penMul is the derived-shedding cost multiplier (>1) frozen at the
+	// last barrier; 0 when inactive. degraded applies the static ×4.
+	penMul   float64
+	degraded bool
+	healthy  bool
+}
+
+// hotCost is the routing metric over the SoA view — cost() with the
+// penalty inputs frozen at the last barrier, which they are anyway:
+// state and lastTemp only change on the control-plane path, and every
+// such change bumps the dispatch epoch.
+func (sh *routerShard) hotCost(slot int32, now sim.Time) sim.Time {
+	h := &sh.hot[slot]
+	d := h.busy - now
+	if d < 0 {
+		d = 0
+	}
+	if h.penMul > 0 {
+		return sim.Time(float64(d+sim.Microsecond) * h.penMul)
+	}
+	if h.degraded {
+		return (d + sim.Microsecond) * degradedPenalty
+	}
+	return d
+}
+
+// flowEntry is one flow route cache line: the flow's two-choice
+// candidate pair and each candidate's pre-resolved host queue, valid
+// for one dispatch epoch. The RNG pair is drawn once per flow per
+// epoch — the amortized-draw half of batch-quantum dispatch — while
+// the per-packet cost comparison between the two candidates stays
+// live, so queue-depth balancing is preserved but the flow hash,
+// director and tenancy lookups are not repeated per packet.
+type flowEntry struct {
+	hash  uint64
+	epoch uint64
+	// a, b index the dispatch view's parallel arrays; b is -1 for a
+	// single-candidate shard. qa, qb are the candidates' host queues
+	// from the VIP-rewritten flow hash; -1 marks steering the tenancy
+	// layer could not resolve (that candidate drops, as the per-packet
+	// Route would).
+	a, b   int32
+	qa, qb int32
+}
+
+// shardDisp is one (service, shard) dispatch view: the shard's ready
+// replicas flattened into parallel arrays — replica, VIP, hot-state
+// slot, steering queue range — plus the flow route cache. It is
+// rebuilt lazily when the dispatch epoch moves (every control-plane
+// barrier, health or placement transition bumps the epoch) and is
+// owned by the shard's worker between barriers, under the same
+// ownership rule as the rest of the shard state.
+type shardDisp struct {
+	epoch uint64
+	reps  []*Replica
+	vip   []net.IPAddr
+	slot  []int32
+	qlo   []int32
+	qspan []int32
+	cache []flowEntry
 }
 
 // tracePacket records one served packet's route span, subject to the
@@ -93,6 +177,11 @@ type router struct {
 	frozen bool
 	shards []*routerShard
 	idx    *replicaIndex
+	// epoch is the dispatch epoch. Every control-plane barrier and
+	// every health or placement transition bumps it, lazily invalidating
+	// the per-shard SoA views and flow route caches; all bumps happen on
+	// the serial control-plane path.
+	epoch uint64
 
 	// base is the pre-shard serial path: naive candidate scan, exact
 	// sample buffer.
@@ -106,11 +195,16 @@ type router struct {
 }
 
 func newRouter(c *Cluster, seed int64) *router {
-	r := &router{c: c, seed: seed, idx: newReplicaIndex(c)}
+	// epoch starts at 1 so zero-valued dispatch views are born stale.
+	r := &router{c: c, seed: seed, idx: newReplicaIndex(c), epoch: 1}
 	r.base.rng = rand.New(rand.NewSource(seed))
 	r.base.lat = &metrics.Latencies{}
 	return r
 }
+
+// bumpEpoch invalidates every shard's dispatch view and flow cache.
+// Serial control-plane path only.
+func (r *router) bumpEpoch() { r.epoch++ }
 
 // shardCount resolves the configured or automatic shard count for the
 // current fleet size. One shard per autoShardNodes nodes keeps the
@@ -213,78 +307,154 @@ func (c *Cluster) candidates(svc string, now sim.Time) []*Replica {
 	return out
 }
 
-// pickTwoChoice samples two candidates with the shard's RNG and keeps
-// the one on the cheaper device (node ID breaks ties).
-func (c *Cluster) pickTwoChoice(sh *routerShard, cands []*Replica, now sim.Time) *Replica {
-	pick := cands[0]
-	if len(cands) > 1 {
-		i := sh.rng.Intn(len(cands))
-		j := sh.rng.Intn(len(cands) - 1)
+// refreshDisp returns the (service, shard) dispatch view, rebuilding
+// it when the dispatch epoch moved since it was last built. Runs on
+// the shard owner's goroutine: distinct shards rebuild concurrently,
+// but each touches only its own shard state and nodes (a node belongs
+// to exactly one shard), and si.disp was sized on the serial path, so
+// no allocation or write here is shared across workers.
+func (r *router) refreshDisp(si *svcIndex, s int) *shardDisp {
+	d := &si.disp[s]
+	if d.epoch == r.epoch {
+		return d
+	}
+	sh := r.shards[s]
+	if sh.hotEpoch != r.epoch {
+		sh.hotEpoch = r.epoch
+		sh.hot = sh.hot[:0]
+	}
+	d.epoch = r.epoch
+	d.reps = d.reps[:0]
+	d.vip = d.vip[:0]
+	d.slot = d.slot[:0]
+	d.qlo = d.qlo[:0]
+	d.qspan = d.qspan[:0]
+	derived := r.c.cfg.DerivedShedding
+	for _, rep := range si.ready[s] {
+		n := rep.node
+		if n.hotEpoch != r.epoch {
+			n.hotEpoch = r.epoch
+			n.hotSlot = int32(len(sh.hot))
+			h := nodeHot{n: n, busy: n.busyUntil, healthy: n.state == Healthy}
+			if derived {
+				if p := r.c.thermalPenalty(n.lastTemp); p > 1 {
+					h.penMul = p
+				}
+			} else if n.state == Degraded {
+				h.degraded = true
+			}
+			sh.hot = append(sh.hot, h)
+		}
+		lo, span := -1, 0
+		if l, sp, err := n.Tenants.ResolveSteering(rep.VIP); err == nil {
+			lo, span = l, sp
+		}
+		d.reps = append(d.reps, rep)
+		d.vip = append(d.vip, rep.VIP)
+		d.slot = append(d.slot, n.hotSlot)
+		d.qlo = append(d.qlo, int32(lo))
+		d.qspan = append(d.qspan, int32(span))
+	}
+	if d.cache == nil {
+		d.cache = make([]flowEntry, flowCacheSize)
+	}
+	return d
+}
+
+// flowQueue computes the host queue candidate i's flow director would
+// select for this packet: the tenant queue range offset by the
+// VIP-rewritten flow hash — the hash Direct sees, since dispatch
+// rewrites DstIP to the chosen VIP before the device crossing. -1
+// marks unresolvable steering.
+func (d *shardDisp) flowQueue(i int32, p *net.Packet) int32 {
+	span := d.qspan[i]
+	if span <= 0 {
+		return -1
+	}
+	k := p.Flow()
+	k.DstIP = d.vip[i]
+	return d.qlo[i] + int32(k.Hash()%uint64(span))
+}
+
+// flowSlot returns the flow's cache entry, filling it on a miss: the
+// candidate pair is drawn with the shard RNG exactly as per-packet
+// two-choice did (two Intn draws, distinct indices), ordered so cost
+// ties resolve to the lexicographically smaller node ID, and each
+// candidate's host queue is resolved once. RNG is consumed only here —
+// per-shard flow subsequences are fixed by the flow hash, so cache
+// miss order, and with it the RNG stream, is worker-count invariant.
+func (sh *routerShard) flowSlot(d *shardDisp, h uint64, p *net.Packet) *flowEntry {
+	e := &d.cache[h&(flowCacheSize-1)]
+	if e.hash == h && e.epoch == d.epoch {
+		return e
+	}
+	e.hash, e.epoch = h, d.epoch
+	e.a, e.b = 0, -1
+	if n := len(d.reps); n > 1 {
+		i := sh.rng.Intn(n)
+		j := sh.rng.Intn(n - 1)
 		if j >= i {
 			j++
 		}
-		a, b := cands[i], cands[j]
-		ca, cb := c.router.cost(a.node, now), c.router.cost(b.node, now)
-		switch {
-		case ca < cb:
-			pick = a
-		case cb < ca:
-			pick = b
-		case a.Node <= b.Node:
-			pick = a
-		default:
-			pick = b
+		a, b := int32(i), int32(j)
+		if d.reps[b].Node < d.reps[a].Node {
+			a, b = b, a
 		}
+		e.a, e.b = a, b
 	}
-	return pick
+	e.qa = d.flowQueue(e.a, p)
+	e.qb = -1
+	if e.b >= 0 {
+		e.qb = d.flowQueue(e.b, p)
+	}
+	return e
 }
 
-// routeShard dispatches one packet on one shard — the allocation-free
-// fast path Serve's workers run. Shard state, the picked node's
-// datapath and the packet are all owned by the calling worker between
-// barriers.
-func (c *Cluster) routeShard(sh *routerShard, cands []*Replica, now sim.Time, p *net.Packet) {
-	sh.sent++
-	if len(cands) == 0 {
-		sh.dropped++
-		if sh.trace != nil {
-			sh.traceDrop(now, "")
-		}
-		return
+// routeResult is one batched dispatch outcome. node is nil when the
+// shard had no candidates at all.
+type routeResult struct {
+	rep     *Replica
+	node    *Node
+	queue   int32
+	done    sim.Time
+	served  bool
+	healthy bool
+}
+
+// routeCached dispatches one packet on one shard through the batched
+// fast path: cached candidate pair, live two-way cost comparison over
+// the SoA view, pre-resolved steering, and the directed ingress
+// variant that skips the per-packet Ex-function lookups. Counter,
+// histogram and trace updates stay with the caller so the batch loop
+// can accumulate them in bulk.
+func (c *Cluster) routeCached(sh *routerShard, d *shardDisp, h uint64, now sim.Time, p *net.Packet) routeResult {
+	if len(d.reps) == 0 {
+		return routeResult{}
 	}
-	pick := c.pickTwoChoice(sh, cands, now)
-	n := pick.node
-	p.DstIP = pick.VIP
-	if _, _, err := n.Tenants.Route(p); err != nil {
-		sh.dropped++
-		if sh.trace != nil {
-			sh.traceDrop(now, n.ID)
-		}
-		return
+	e := sh.flowSlot(d, h, p)
+	ai, q := e.a, e.qa
+	if e.b >= 0 && sh.hotCost(d.slot[e.b], now) < sh.hotCost(d.slot[e.a], now) {
+		ai, q = e.b, e.qb
 	}
-	done, _, ok := n.Net.Ingress(now, p)
+	hot := &sh.hot[d.slot[ai]]
+	n := hot.n
+	rep := d.reps[ai]
+	if q < 0 {
+		return routeResult{rep: rep, node: n}
+	}
+	p.DstIP = d.vip[ai]
+	done, ok := n.Net.IngressDirected(now, p)
 	if !ok {
-		sh.dropped++
-		if sh.trace != nil {
-			sh.traceDrop(now, n.ID)
-		}
-		return
+		return routeResult{rep: rep, node: n, queue: q, done: done}
 	}
-	if done > n.busyUntil {
+	if done > hot.busy {
+		hot.busy = done
 		n.busyUntil = done
 	}
-	sh.served++
-	if n.state == Healthy {
-		sh.healthy++
+	if rep.flows != nil {
+		rep.flows.process(p.Flow())
 	}
-	sh.bytes += int64(p.WireBytes)
-	sh.hist.Add(done - now)
-	if sh.trace != nil {
-		sh.tracePacket(now, done, n.ID, int64(p.WireBytes))
-	}
-	if pick.flows != nil {
-		pick.flows.process(p.Flow())
-	}
+	return routeResult{rep: rep, node: n, queue: q, done: done, served: true, healthy: hot.healthy}
 }
 
 // dispatchShard maps a flow hash onto the shard that will route it,
@@ -322,27 +492,23 @@ func (r *router) dispatchShard(si *svcIndex, h uint64) int {
 	}
 }
 
-// shardFor maps a flow onto a shard holding ready replicas of the
-// service; ok is false when no shard does.
-func (r *router) shardFor(si *svcIndex, p *net.Packet) (int, bool) {
-	if len(si.active) == 0 {
-		return 0, false
-	}
-	return r.dispatchShard(si, p.Flow().Hash()), true
-}
-
 // Route dispatches one packet of a service's traffic across the fleet
-// through the indexed fast path: the flow hashes onto a router shard
-// and two-choice runs over that shard's ready replicas.
+// through the same batched machinery Serve's workers run: the flow
+// hashes onto a router shard, the cached candidate pair competes on
+// the SoA cost view, and the packet crosses the chosen device.
+// Unknown services are rejected before any counter moves; a known
+// service with zero ready replicas counts a drop.
 func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, error) {
 	c.advance(now)
+	if _, known := c.services[svc]; !known {
+		return Dispatch{Dropped: true}, fmt.Errorf("fleet: unknown service %q", svc)
+	}
 	r := c.router
 	r.freeze()
 	r.idx.mature(now)
 	si := r.idx.svc(svc)
-	s, ok := r.shardFor(si, p)
-	sh := r.shards[s]
-	if !ok {
+	if len(si.active) == 0 {
+		sh := r.shards[0]
 		sh.sent++
 		sh.dropped++
 		if sh.trace != nil {
@@ -350,43 +516,35 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 		}
 		return Dispatch{Dropped: true}, fmt.Errorf("fleet: no live replica of %s", svc)
 	}
-	cands := si.ready[s]
+	h := p.Flow().Hash()
+	s := r.dispatchShard(si, h)
+	sh := r.shards[s]
+	d := r.refreshDisp(si, s)
 	sh.sent++
-	pick := c.pickTwoChoice(sh, cands, now)
-	n := pick.node
-	p.DstIP = pick.VIP
-	queue, _, err := n.Tenants.Route(p)
-	if err != nil {
+	res := c.routeCached(sh, d, h, now, p)
+	if !res.served {
 		sh.dropped++
 		if sh.trace != nil {
-			sh.traceDrop(now, n.ID)
+			sh.traceDrop(now, res.node.ID)
 		}
-		return Dispatch{Replica: pick, Node: n.ID, Dropped: true}, err
-	}
-	done, _, ok := n.Net.Ingress(now, p)
-	if !ok {
-		sh.dropped++
-		if sh.trace != nil {
-			sh.traceDrop(now, n.ID)
+		// done is 0 only on the steering-drop path: a tail drop still
+		// carries the wire arrival time.
+		if res.done == 0 {
+			return Dispatch{Replica: res.rep, Node: res.node.ID, Dropped: true},
+				fmt.Errorf("fleet: steering unresolved for %s on %s", svc, res.node.ID)
 		}
-		return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Dropped: true}, nil
-	}
-	if done > n.busyUntil {
-		n.busyUntil = done
+		return Dispatch{Replica: res.rep, Node: res.node.ID, Queue: int(res.queue), Dropped: true}, nil
 	}
 	sh.served++
-	if n.state == Healthy {
+	if res.healthy {
 		sh.healthy++
 	}
 	sh.bytes += int64(p.WireBytes)
-	sh.hist.Add(done - now)
+	sh.hist.Add(res.done - now)
 	if sh.trace != nil {
-		sh.tracePacket(now, done, n.ID, int64(p.WireBytes))
+		sh.tracePacket(now, res.done, res.node.ID, int64(p.WireBytes))
 	}
-	if pick.flows != nil {
-		pick.flows.process(p.Flow())
-	}
-	return Dispatch{Replica: pick, Node: n.ID, Queue: queue, Done: done}, nil
+	return Dispatch{Replica: res.rep, Node: res.node.ID, Queue: int(res.queue), Done: res.done}, nil
 }
 
 // routeBaseline is the pre-shard serial path: per-packet candidate

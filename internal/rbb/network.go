@@ -133,6 +133,24 @@ func (d *FlowDirector) Direct(p *net.Packet) (queue, tenant int, ok bool) {
 	return q, t, true
 }
 
+// Resolve returns the tenant and queue range [lo, hi) a destination
+// address steers into, without consuming a packet — the resolve-once
+// path for callers that cache per-flow steering and derive the queue
+// from the flow hash themselves. ok is false when no tenant matches
+// (counted as a miss, as Direct would).
+func (d *FlowDirector) Resolve(dst net.IPAddr) (lo, hi, tenant int, ok bool) {
+	t, matched := d.rules[dst]
+	if !matched {
+		t = d.defaultTenant
+	}
+	r, exists := d.tenants[t]
+	if !exists {
+		d.misses++
+		return 0, 0, 0, false
+	}
+	return r[0], r[1], t, true
+}
+
 // Misses reports unroutable flow count.
 func (d *FlowDirector) Misses() int64 { return d.misses }
 
@@ -246,6 +264,27 @@ func (n *NetworkRBB) Ingress(now sim.Time, p *net.Packet) (done sim.Time, queue 
 	done = n.rxPath.Transfer(arrive, p.WireBytes)
 	n.rx.Record(p.WireBytes, false)
 	return done, q, true
+}
+
+// IngressDirected carries one packet whose filter admission and flow
+// steering were already resolved (FlowDirector.Resolve): wire, wrapper
+// datapath and tail-drop check only. With the filter disabled and the
+// steering decision cached per flow, the outcome is identical to
+// Ingress — it is the batched router's amortized variant of the same
+// device crossing.
+func (n *NetworkRBB) IngressDirected(now sim.Time, p *net.Packet) (done sim.Time, ok bool) {
+	arrive := n.rxLink.Transmit(now, p.WireBytes)
+	backlog := n.rxPath.Backlog(arrive)
+	if backlog > n.rxQueueCap {
+		n.rx.Record(p.WireBytes, true)
+		return arrive, false
+	}
+	if backlog > n.maxBacklog {
+		n.maxBacklog = backlog
+	}
+	done = n.rxPath.Transfer(arrive, p.WireBytes)
+	n.rx.Record(p.WireBytes, false)
+	return done, true
 }
 
 // Egress carries one packet from the role out to the wire.

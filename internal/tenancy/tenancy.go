@@ -262,6 +262,29 @@ func (m *Manager) Owner(queue int) (*Tenant, bool) {
 	return nil, false
 }
 
+// ResolveSteering resolves the director's steering decision for a
+// destination address once, returning the matched tenant's queue range
+// [lo, lo+span). It fails exactly when Route would fail for any packet
+// of such a flow — no tenant, retired tenant, or a director range
+// escaping the tenant's isolation range — which is what lets a caller
+// cache the range at a control-plane barrier and derive per-flow
+// queues from the flow hash without re-running the lookups per packet.
+func (m *Manager) ResolveSteering(dst net.IPAddr) (lo, span int, err error) {
+	dlo, dhi, tenantID, ok := m.director.Resolve(dst)
+	if !ok {
+		return 0, 0, fmt.Errorf("tenancy: no tenant for flow to %s", dst)
+	}
+	tn, exists := m.tenants[tenantID]
+	if !exists {
+		return 0, 0, fmt.Errorf("tenancy: director matched retired tenant %d", tenantID)
+	}
+	if dlo < tn.QueueLo || dhi > tn.QueueHi {
+		return 0, 0, fmt.Errorf("tenancy: isolation violation: steering range [%d,%d) outside [%d,%d)",
+			dlo, dhi, tn.QueueLo, tn.QueueHi)
+	}
+	return dlo, dhi - dlo, nil
+}
+
 // Route steers a packet to its tenant's queue range via the flow
 // director and verifies the isolation invariant: the selected queue
 // must belong to the matched tenant.
