@@ -9,9 +9,11 @@
 // table across, emitted as BENCH_migrate.json), the failure-storm
 // chaos drill (one seeded injection schedule replayed unbudgeted vs
 // budgeted and static vs derived shedding, emitted as
-// BENCH_chaos.json), and the gossip smoke drill (a full
+// BENCH_chaos.json), the gossip smoke drill (a full
 // suspect/refute/confirm protocol cycle on a seeded fleet, emitted as
-// BENCH_gossip.json).
+// BENCH_gossip.json), and the multi-service co-residency drill (the
+// storm replayed against three services of different classes sharing
+// one fleet, emitted as BENCH_coresidency.json).
 //
 // Usage:
 //
@@ -23,6 +25,7 @@
 //	harmonia-fleet -scenario chaos -devices 300 -seed 11 -budget 8
 //	harmonia-fleet -scenario chaos -trace trace.json -metrics metrics.prom
 //	harmonia-fleet -scenario gossip -devices 300 -seed 11 -racks 8
+//	harmonia-fleet -scenario coresidency -devices 120 -seed 11 -budget 6
 //	harmonia-fleet -scenario tracecheck -trace trace.json
 //
 // The bench sweep's default sizes now reach the 10000-node scale
@@ -74,12 +77,12 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | tracecheck")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | coresidency | tracecheck")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
 	flag.Int64Var(&o.seed, "seed", 7, "workload and router seed")
-	flag.IntVar(&o.budget, "budget", 8, "chaos: concurrent PR-load cap for the budgeted cases")
+	flag.IntVar(&o.budget, "budget", 8, "chaos/coresidency: concurrent PR-load cap for the budgeted cases")
 	flag.IntVar(&o.racks, "racks", 0, "rack count (0 = auto, one rack per 64 nodes)")
 	flag.StringVar(&o.nodes, "nodes", "", "bench: comma-separated fleet sizes (default 100,300,1000,10000)")
 	flag.StringVar(&o.jsonPath, "json", "BENCH_fleet.json", "bench: report path (empty to skip)")
@@ -90,10 +93,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	// The generic -devices default (4) suits scale/drill; the chaos and
-	// gossip drills' tentpole configuration is the 300-node fleet. Only
-	// an explicit -devices overrides it.
-	if o.scenario == "chaos" || o.scenario == "gossip" {
+	// The generic -devices default (4) suits scale/drill; the chaos,
+	// gossip and co-residency drills carry their own tentpole fleet
+	// sizes. Only an explicit -devices overrides them.
+	if o.scenario == "chaos" || o.scenario == "gossip" || o.scenario == "coresidency" {
 		devicesGiven := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "devices" {
@@ -159,10 +162,12 @@ func run(w io.Writer, o options) error {
 		return runChaos(w, o)
 	case "gossip":
 		return runGossip(w, o)
+	case "coresidency":
+		return runCoResidency(w, o)
 	case "tracecheck":
 		return runTraceCheck(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip or tracecheck)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip, coresidency or tracecheck)", o.scenario)
 	}
 }
 
@@ -591,6 +596,101 @@ func runChaos(w io.Writer, o options) error {
 			}
 		}
 		return fmt.Errorf("chaos gates failed; reproduce with: %s", rep.Repro)
+	}
+	return nil
+}
+
+// runCoResidency runs the fleet8 multi-service co-residency drill: the
+// failure storm against three services of different classes sharing
+// one fleet, gated on latency-critical availability dominating bulk
+// and the fleet-wide aggregate, bulk shedding strictly before
+// latency-critical on banded nodes, and failover PR loads provably
+// preempting the elective scale-out queue.
+func runCoResidency(w io.Writer, o options) error {
+	opts := fleet.DefaultCoResOptions()
+	if o.devices > 0 {
+		opts.Devices = o.devices
+	}
+	// The drill's tentpole budget (6) differs from the -budget default
+	// tuned for chaos; only an explicit flag overrides it.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "budget" {
+			opts.Budget = o.budget
+		}
+	})
+	opts.Seed = o.seed
+	var rec *obs.Recorder
+	if o.tracePath != "" {
+		rec = obs.NewRecorder()
+	} else {
+		rec = obs.NewFlightRecorder(o.flightN)
+	}
+	opts.Trace = rec
+	rep, d, err := bench.FleetCoResReport(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "co-residency drill: %d services on %d devices, rack size %d, seed %d, budget %d\n",
+		len(rep.Services), rep.Devices, rep.RackSize, rep.Seed, rep.Budget)
+	fmt.Fprintf(w, "storm: %d injections over [%v, %v]; fleet availability %.4f\n\n",
+		len(rep.Injections), d.StormStart, d.StormEnd, rep.FleetAvailability)
+	fmt.Fprintf(w, "%-14s %-18s %-6s %-13s %-9s %-9s %-7s %-10s\n",
+		"service", "class", "slo", "availability", "sent", "dropped", "shed", "p99")
+	for _, s := range rep.Services {
+		fmt.Fprintf(w, "%-14s %-18s %-6.3f %-13.4f %-9d %-9d %-7d %-10v\n",
+			s.Name, s.Class, s.SLOAvailability, s.Availability, s.Sent, s.Dropped,
+			s.Shed, sim.Time(s.P99Ps))
+	}
+	fmt.Fprintf(w, "\nshed order: %d banded window-node observations, %d proofs, %d violations, %d lc packets shed\n",
+		len(rep.ShedObservations), rep.ShedOrderProofs, rep.ShedOrderViolations, rep.LCShed)
+	fmt.Fprintf(w, "electives: %d requested, %d placed, %d unplaced; %d preempted by failovers (%d grant-log pairs), peak load %d/%d\n",
+		rep.ElectivesRequested, rep.ElectivesCompleted, rep.ElectivesUnplaced,
+		rep.LoadsPreempted, len(rep.PreemptionPairs), rep.PeakConcurrentLoads, rep.Budget)
+	fmt.Fprintf(w, "\nslo order held:    %v\nshed order held:   %v\nfailover preempts: %v\n",
+		rep.SLOOrderHeld, rep.ShedOrderHeld, rep.FailoverPreempts)
+	path := o.jsonPath
+	if path == "BENCH_fleet.json" { // the -json flag default belongs to bench
+		path = "BENCH_coresidency.json"
+	}
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	if o.tracePath != "" {
+		if err := writeTraceFile(o.tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteProm(f, d.Registry)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.metricsPath)
+	}
+	if !rep.Gates() {
+		if o.tracePath == "" {
+			const flightPath = "coresidency-flight.json"
+			if werr := writeTraceFile(flightPath, rec); werr == nil {
+				return fmt.Errorf("co-residency gates failed; flight recording in %s; reproduce with: %s",
+					flightPath, rep.Repro)
+			}
+		}
+		return fmt.Errorf("co-residency gates failed; reproduce with: %s", rep.Repro)
 	}
 	return nil
 }

@@ -15,6 +15,22 @@ import (
 // overflow: a load past the limit queues until the earliest in-flight
 // load completes, and its slot reconfiguration starts then.
 
+// LoadClass is a PR load's priority class in the reconfiguration
+// budget's grant queue.
+type LoadClass string
+
+// Load priority classes. Failover re-placements are granted
+// immediately — past the cap they chain behind the earliest in-flight
+// completions — while elective loads (scale-outs, rebalances) wait on
+// the cluster's elective queue and start only when the budget has a
+// slot free at a control-plane barrier. A failover requested while
+// electives wait therefore starts ahead of every one of them: the
+// budget's named headroom is preemptive by construction.
+const (
+	LoadFailover LoadClass = "failover"
+	LoadElective LoadClass = "elective"
+)
+
 // LoadEvent records one budget grant for the chaos drill's queue-depth
 // series: the load was requested at ReqAt, started at Start (later when
 // the budget queued it) and held bitstream bandwidth until Done.
@@ -23,6 +39,10 @@ type LoadEvent struct {
 	Start sim.Time
 	Done  sim.Time
 	Node  string
+	// Class is the grant's priority class; preemption is provable from
+	// the log alone (an elective with an earlier ReqAt but a later Start
+	// than a failover was preempted by it).
+	Class LoadClass
 	// OK is false when the load failed every retry (no tenant admitted).
 	OK bool
 }
@@ -40,14 +60,28 @@ type reconfigBudget struct {
 	inflight []sim.Time
 	queued   int
 	events   []LoadEvent
+	// preempted counts failover grants issued while elective loads were
+	// waiting on the cluster's elective queue — each one jumped the
+	// whole queue.
+	preempted int
 }
 
-// reset installs a new limit and clears history, so drill warmup
-// placements do not contaminate the storm's measurements.
+// reset installs a new limit and clears the grant history, so drill
+// warmup placements do not contaminate the storm's measurements. Loads
+// still in flight are preserved: changing the cap mid-run must not
+// forget bandwidth already committed, or the fleet would exceed the
+// new limit while the forgotten loads drain (completed entries age out
+// of the heap on the next acquire anyway).
 func (b *reconfigBudget) reset(limit int) {
 	b.limit = limit
-	b.inflight = b.inflight[:0]
+	b.clearHistory()
+}
+
+// clearHistory drops the grant log and its derived counters without
+// touching the in-flight heap.
+func (b *reconfigBudget) clearHistory() {
 	b.queued = 0
+	b.preempted = 0
 	b.events = nil
 }
 
@@ -73,14 +107,28 @@ func (b *reconfigBudget) acquire(now sim.Time) sim.Time {
 
 // commit records the granted load's real span. The caller pairs every
 // acquire with exactly one commit, on the serial control-plane path.
-func (b *reconfigBudget) commit(reqAt, start, done sim.Time, node string, ok bool) {
+// Failed loads (ok=false) with done > start still push onto the heap:
+// a load that fails every retry occupied bitstream bandwidth until its
+// Done, so later grants must chain behind it. A zero-span grant
+// (done == start, the load never reached the distribution tier) holds
+// no bandwidth and is not counted as queued even when the budget
+// advanced its start — it never waited on the wire.
+func (b *reconfigBudget) commit(reqAt, start, done sim.Time, node string, class LoadClass, ok bool) {
 	if done > start {
 		b.push(done)
+		if start > reqAt {
+			b.queued++
+		}
 	}
-	if start > reqAt {
-		b.queued++
-	}
-	b.events = append(b.events, LoadEvent{ReqAt: reqAt, Start: start, Done: done, Node: node, OK: ok})
+	b.events = append(b.events, LoadEvent{ReqAt: reqAt, Start: start, Done: done, Node: node, Class: class, OK: ok})
+}
+
+// free reports whether a load granted now would start immediately,
+// without consuming a slot. The elective drain uses it to admit queued
+// scale-out loads only into genuinely free headroom.
+func (b *reconfigBudget) free(now sim.Time) bool {
+	b.prune(now)
+	return b.limit == 0 || len(b.inflight) < b.limit
 }
 
 // prune drops loads that completed by now.

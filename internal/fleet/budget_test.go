@@ -18,7 +18,7 @@ func TestBudgetBoundsConcurrency(t *testing.T) {
 	var starts []sim.Time
 	for i := 0; i < 4; i++ {
 		start := b.acquire(0)
-		b.commit(0, start, start+dur, "n", true)
+		b.commit(0, start, start+dur, "n", LoadFailover, true)
 		starts = append(starts, start)
 	}
 	want := []sim.Time{0, 0, dur, dur}
@@ -51,7 +51,7 @@ func TestBudgetUnlimitedRecordsPeak(t *testing.T) {
 		if start != 0 {
 			t.Fatalf("unlimited budget delayed load %d to %v", i, start)
 		}
-		b.commit(0, start, start+dur, "n", true)
+		b.commit(0, start, start+dur, "n", LoadFailover, true)
 	}
 	if got := peakConcurrent(b.events); got != 5 {
 		t.Errorf("peak overlap = %d, want 5", got)
@@ -66,12 +66,12 @@ func TestBudgetUnlimitedRecordsPeak(t *testing.T) {
 func TestBudgetPrunesCompletedLoads(t *testing.T) {
 	b := &reconfigBudget{limit: 1}
 	s1 := b.acquire(0)
-	b.commit(0, s1, 10*sim.Microsecond, "a", true)
+	b.commit(0, s1, 10*sim.Microsecond, "a", LoadFailover, true)
 	// Same-time request queues behind the first completion...
 	if s2 := b.acquire(0); s2 != 10*sim.Microsecond {
 		t.Fatalf("second load started at %v, want 10µs", s2)
 	} else {
-		b.commit(0, s2, s2+10*sim.Microsecond, "b", true)
+		b.commit(0, s2, s2+10*sim.Microsecond, "b", LoadFailover, true)
 	}
 	// ...but a request after both completed starts immediately.
 	if s3 := b.acquire(30 * sim.Microsecond); s3 != 30*sim.Microsecond {
@@ -80,19 +80,89 @@ func TestBudgetPrunesCompletedLoads(t *testing.T) {
 }
 
 // TestBudgetResetClearsHistory checks SetLoadBudget's contract: warmup
-// grants do not contaminate the storm's peak/queue counters.
+// grants do not contaminate the storm's peak/queue counters, but loads
+// still in flight at the reset keep holding their bandwidth.
 func TestBudgetResetClearsHistory(t *testing.T) {
 	b := &reconfigBudget{}
 	for i := 0; i < 3; i++ {
 		s := b.acquire(0)
-		b.commit(0, s, 100, "n", true)
+		b.commit(0, s, 100, "n", LoadFailover, true)
 	}
 	b.reset(2)
-	if b.limit != 2 || b.queued != 0 || len(b.events) != 0 || len(b.inflight) != 0 {
-		t.Fatalf("reset left state: %+v", b)
+	if b.limit != 2 || b.queued != 0 || len(b.events) != 0 {
+		t.Fatalf("reset left history: %+v", b)
+	}
+	if len(b.inflight) != 3 {
+		t.Fatalf("reset dropped the in-flight heap: %d entries, want 3", len(b.inflight))
 	}
 	if got := peakConcurrent(b.events); got != 0 {
 		t.Errorf("peak overlap after reset = %d, want 0", got)
+	}
+}
+
+// TestBudgetResetPreservesInflight pins the mid-run cap-change bug: a
+// budget with loads still in flight must honor them against the new
+// limit, or the fleet exceeds the cap while the forgotten loads drain.
+func TestBudgetResetPreservesInflight(t *testing.T) {
+	b := &reconfigBudget{limit: 4}
+	const dur = 100 * sim.Microsecond
+	for i := 0; i < 3; i++ {
+		s := b.acquire(0)
+		b.commit(0, s, s+dur, "n", LoadFailover, true)
+	}
+	// Tighten the cap to 2 while 3 loads are mid-flight. The next
+	// grant must chain behind an in-flight completion, not start
+	// immediately as if the heap were empty.
+	b.reset(2)
+	if s := b.acquire(0); s != dur {
+		t.Fatalf("post-reset load started at %v, want %v (chained behind in-flight)", s, dur)
+	}
+	// Once the old loads drain, grants flow again under the new limit.
+	if s := b.acquire(2 * dur); s != 2*dur {
+		t.Fatalf("post-drain load started at %v, want %v", s, 2*dur)
+	}
+}
+
+// TestBudgetFailedLoadHoldsBandwidth pins the failed-load accounting: a
+// load that fails every retry (OK=false) occupied the bitstream
+// distribution tier until its Done, so a later grant must chain behind
+// it exactly as behind a success.
+func TestBudgetFailedLoadHoldsBandwidth(t *testing.T) {
+	b := &reconfigBudget{limit: 1}
+	const busy = 80 * sim.Microsecond
+	s := b.acquire(0)
+	b.commit(0, s, s+busy, "n", LoadFailover, false) // failed after retries
+	if got := b.acquire(0); got != busy {
+		t.Fatalf("grant after failed load started at %v, want %v", got, busy)
+	}
+	if b.events[0].OK {
+		t.Fatal("failed load recorded OK=true")
+	}
+}
+
+// TestBudgetQueuedNotDoubleCounted pins LoadsQueued semantics: one
+// failed load is one grant with one span — its internal retries never
+// reach the budget — and a zero-span grant whose start the budget
+// advanced is not "queued" (it never held the wire, so nothing waited).
+func TestBudgetQueuedNotDoubleCounted(t *testing.T) {
+	b := &reconfigBudget{limit: 1}
+	const dur = 50 * sim.Microsecond
+	s1 := b.acquire(0)
+	b.commit(0, s1, s1+dur, "a", LoadFailover, true)
+	// Queued behind s1, then failed after retries: one grant, one span,
+	// one queued count — the retries inside the span are invisible here.
+	s2 := b.acquire(0)
+	b.commit(0, s2, s2+dur, "b", LoadFailover, false)
+	// Queued behind s2, then failed instantly (non-LoadError admission):
+	// the budget advanced its start but it consumed no bandwidth, so it
+	// does not count as queued.
+	s3 := b.acquire(0)
+	b.commit(0, s3, s3, "c", LoadFailover, false)
+	if b.queued != 1 {
+		t.Fatalf("queued = %d, want 1 (zero-span grant must not count)", b.queued)
+	}
+	if got := peakConcurrent(b.events); got != 1 {
+		t.Errorf("peak overlap = %d, want 1", got)
 	}
 }
 
@@ -101,7 +171,7 @@ func TestBudgetResetClearsHistory(t *testing.T) {
 func TestBudgetZeroDurationLoadHoldsNothing(t *testing.T) {
 	b := &reconfigBudget{limit: 1}
 	s := b.acquire(0)
-	b.commit(0, s, s, "n", false) // failed admission, no span
+	b.commit(0, s, s, "n", LoadFailover, false) // failed admission, no span
 	if got := b.acquire(0); got != 0 {
 		t.Fatalf("zero-duration load blocked the next acquire until %v", got)
 	}
@@ -116,7 +186,7 @@ func TestBudgetSameTickChainHoldsLimit(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		start := b.acquire(0)
 		dur := sim.Time(i%4+1) * 10 * sim.Microsecond
-		b.commit(0, start, start+dur, "n", true)
+		b.commit(0, start, start+dur, "n", LoadFailover, true)
 	}
 	if got := peakConcurrent(b.events); got > 3 {
 		t.Fatalf("true overlap %d exceeds limit 3", got)

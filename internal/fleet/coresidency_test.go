@@ -1,0 +1,354 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/net"
+	"harmonia/internal/obs"
+	"harmonia/internal/sim"
+)
+
+const testSecApp = "sec-gateway"
+
+// coResTestCluster builds a small two-service co-resident fleet —
+// layer4-lb latency-critical, sec-gateway bulk — both of which fit the
+// default slot budget.
+func coResTestCluster(t *testing.T, cfg Config, devices int) *Cluster {
+	t.Helper()
+	lbInfo, err := apps.Lookup(testApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secInfo, err := apps.Lookup(testSecApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := AppService(lbInfo, devices, net.IPv4(20, 0, 0, 1))
+	lb.Class = ClassLatencyCritical
+	sec := AppService(secInfo, devices/2, net.IPv4(40, 0, 0, 1))
+	sec.Class = ClassBulk
+	c, err := BuildCoResidentCluster(cfg, []Service{lb, sec}, devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// coResTraffics is the two-service determinism workload: distinct seed
+// streams, asymmetric rates.
+func coResTraffics(seedBump int64) []Traffic {
+	lb := DefaultTraffic(testApp)
+	lb.OfferedGbps = 150
+	lb.Seed += seedBump
+	sec := DefaultTraffic(testSecApp)
+	sec.OfferedGbps = 60
+	sec.Flows = 128
+	sec.Seed = lb.Seed + 1009
+	return []Traffic{lb, sec}
+}
+
+// multiPhases runs the co-residency determinism workload (clean
+// multi-service phase + mid-phase kill) with an explicit batch quantum
+// and worker count, returning PhaseStats, the per-service snapshots,
+// and the exported trace bytes.
+func multiPhases(t *testing.T, quantum, workers int) (PhaseStats, PhaseStats, [2]ServiceSnapshot, []byte) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RouterShards = 4
+	cfg.BatchQuantum = quantum
+	cfg.ServeWorkers = workers
+	c := coResTestCluster(t, cfg, 8)
+	rec := obs.NewRecorder()
+	c.SetTrace(rec.Process("fleet"))
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	first, err := c.ServeMulti(120*sim.Microsecond, coResTraffics(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(c.Nodes()[2].ID); err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.ServeMulti(
+		sim.Time(cfg.FailedAfter+2)*cfg.Heartbeat+2*cfg.ReconfigTime, coResTraffics(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snaps := [2]ServiceSnapshot{c.ServiceStats(testApp), c.ServiceStats(testSecApp)}
+	return first, second, snaps, buf.Bytes()
+}
+
+// TestMultiServeDeterminism is the co-residency determinism contract:
+// the merged multi-service phase partitions packets by each packet's
+// own service dispatch, so same-seed PhaseStats, per-service
+// snapshots AND trace bytes are byte-identical across batch quanta and
+// worker counts, including through a mid-phase failover.
+func TestMultiServeDeterminism(t *testing.T) {
+	base1, base2, baseSnaps, baseTrace := multiPhases(t, 0, 1)
+	if base1.Served == 0 || base2.Served == 0 {
+		t.Fatalf("phases served nothing: %+v / %+v", base1, base2)
+	}
+	for i, s := range baseSnaps {
+		if s.Sent == 0 || s.Served == 0 {
+			t.Fatalf("service %d saw no traffic: %+v", i, s)
+		}
+	}
+	// The per-service decomposition must re-sum to the fleet totals.
+	if got := baseSnaps[0].Sent + baseSnaps[1].Sent; got != base1.Sent+base2.Sent {
+		t.Errorf("per-service sent %d != phase sent %d", got, base1.Sent+base2.Sent)
+	}
+	if got := baseSnaps[0].Served + baseSnaps[1].Served; got != base1.Served+base2.Served {
+		t.Errorf("per-service served %d != phase served %d", got, base1.Served+base2.Served)
+	}
+	for _, tc := range []struct{ quantum, workers int }{
+		{64, 1}, {64, 2}, {4096, 8}, {0, 8},
+	} {
+		got1, got2, snaps, trace := multiPhases(t, tc.quantum, tc.workers)
+		if got1 != base1 || got2 != base2 {
+			t.Errorf("quantum=%d workers=%d: stats diverge:\n base: %+v / %+v\n got:  %+v / %+v",
+				tc.quantum, tc.workers, base1, base2, got1, got2)
+		}
+		if snaps != baseSnaps {
+			t.Errorf("quantum=%d workers=%d: service snapshots diverge:\n base: %+v\n got:  %+v",
+				tc.quantum, tc.workers, baseSnaps, snaps)
+		}
+		if !bytes.Equal(trace, baseTrace) {
+			t.Errorf("quantum=%d workers=%d: trace bytes diverge from base", tc.quantum, tc.workers)
+		}
+	}
+}
+
+// TestFlowCacheIsolation pins the per-(service, shard) flow cache
+// contract: two co-resident services routing through the same shards
+// keep disjoint dispatch views and caches — every cached candidate
+// resolves to a replica of the owning service, never the neighbor's.
+func TestFlowCacheIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RouterShards = 4
+	c := coResTestCluster(t, cfg, 8)
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	if _, err := c.ServeMulti(200*sim.Microsecond, coResTraffics(0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{testApp, testSecApp} {
+		si := c.router.idx.svcs[name]
+		if si == nil {
+			t.Fatalf("service %s has no index", name)
+		}
+		cached := 0
+		for s := range si.disp {
+			d := &si.disp[s]
+			for _, r := range d.reps {
+				if r.Service != name {
+					t.Fatalf("service %s shard %d dispatch view holds %s replica", name, s, r.Service)
+				}
+			}
+			for _, e := range d.cache {
+				if e.epoch != d.epoch || d.epoch == 0 {
+					continue
+				}
+				cached++
+				if e.a >= 0 && d.reps[e.a].Service != name {
+					t.Fatalf("service %s shard %d cached candidate a is %s replica",
+						name, s, d.reps[e.a].Service)
+				}
+				if e.b >= 0 && d.reps[e.b].Service != name {
+					t.Fatalf("service %s shard %d cached candidate b is %s replica",
+						name, s, d.reps[e.b].Service)
+				}
+			}
+		}
+		if cached == 0 {
+			t.Errorf("service %s has no live flow-cache entries after serving", name)
+		}
+		if s := c.ServiceStats(name); s.Served == 0 {
+			t.Errorf("service %s served nothing: %+v", name, s)
+		}
+	}
+}
+
+// TestAddServiceDuplicate pins the AddService error paths: a duplicate
+// name and an unknown service class are both rejected before any
+// cluster state moves.
+func TestAddServiceDuplicate(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := apps.Lookup(testApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := AppService(info, 2, net.IPv4(20, 0, 0, 1))
+	if err := c.AddService(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddService(svc); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate AddService err = %v, want already registered", err)
+	}
+	bad := svc
+	bad.Name = "other"
+	bad.Class = "interactive"
+	if err := c.AddService(bad); err == nil || !strings.Contains(err.Error(), "class") {
+		t.Errorf("bad-class AddService err = %v, want class error", err)
+	}
+	// The empty class normalizes to latency-critical.
+	norm := svc
+	norm.Name = "normalized"
+	norm.VIPBase = net.IPv4(21, 0, 0, 1)
+	if err := c.AddService(norm); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.services["normalized"].Class; got != ClassLatencyCritical {
+		t.Errorf("empty class normalized to %q, want %q", got, ClassLatencyCritical)
+	}
+}
+
+// TestElectiveDrainAndPreemption is the cluster-level priority-class
+// contract: an elective scale-out queues behind the PR-load budget and
+// drains at heartbeat barriers, while a failover admitted mid-drain
+// preempts the queue — provable from the grant log.
+func TestElectiveDrainAndPreemption(t *testing.T) {
+	cfg := DefaultConfig()
+	c := coResTestCluster(t, cfg, 8)
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	c.SetLoadBudget(1)
+	start := c.Now()
+	if err := c.ScaleService(start, testSecApp, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Budget 1: one elective starts immediately, two queue.
+	if got := c.ElectivesQueued(); got != 2 {
+		t.Fatalf("ElectivesQueued = %d after scale-out under budget 1, want 2", got)
+	}
+	if err := c.Kill(c.Nodes()[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	// Let the monitor confirm the death, fail over, and drain the
+	// elective queue behind the failover grants.
+	c.RunMonitorUntil(start + 50*sim.Millisecond)
+	if got := c.ElectivesQueued(); got != 0 {
+		t.Errorf("ElectivesQueued = %d after drain, want 0", got)
+	}
+	if got := c.LoadsPreempted(); got < 1 {
+		t.Errorf("LoadsPreempted = %d, want >= 1", got)
+	}
+	if got := c.LoadBudgetPeak(); got > 1 {
+		t.Errorf("LoadBudgetPeak = %d, budget 1 breached", got)
+	}
+	events := c.LoadEvents()
+	var electives, failovers int
+	pair := false
+	for _, e := range events {
+		switch e.Class {
+		case LoadElective:
+			electives++
+		case LoadFailover:
+			failovers++
+		}
+	}
+	for _, f := range events {
+		if f.Class != LoadFailover {
+			continue
+		}
+		for _, e := range events {
+			if e.Class == LoadElective && e.ReqAt < f.ReqAt && f.Start < e.Start {
+				pair = true
+			}
+		}
+	}
+	if electives != 3 {
+		t.Errorf("grant log holds %d elective grants, want 3", electives)
+	}
+	if failovers == 0 {
+		t.Error("grant log holds no failover grants after a kill")
+	}
+	if !pair {
+		t.Errorf("no preemption pair in grant log: %+v", events)
+	}
+	// Every scaled-out replica eventually landed.
+	for _, r := range c.Replicas() {
+		if r.Service == testSecApp && r.Node == "" {
+			t.Errorf("replica %s still unplaced after drain", r.Name())
+		}
+	}
+}
+
+// TestCoResidencyDrill runs the fleet8 drill at its tentpole
+// configuration and asserts every acceptance gate directly on the
+// fleet-level result.
+func TestCoResidencyDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet8 drill is seconds-long; skipped in -short")
+	}
+	res, err := CoResidencyDrill(DefaultCoResOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Services) != 3 {
+		t.Fatalf("drill ran %d services, want 3", len(res.Services))
+	}
+	var bulkAvail float64 = 1
+	for _, s := range res.Services {
+		if s.Sent == 0 || s.Served == 0 {
+			t.Errorf("service %s saw no traffic: %+v", s.Name, s)
+		}
+		if s.Class == ClassBulk && s.Availability < bulkAvail {
+			bulkAvail = s.Availability
+		}
+	}
+	for _, s := range res.Services {
+		if s.Class != ClassLatencyCritical {
+			continue
+		}
+		if s.Availability < s.SLOAvailability {
+			t.Errorf("lc service %s availability %.6f below SLO %.3f", s.Name, s.Availability, s.SLOAvailability)
+		}
+		if s.Availability < bulkAvail {
+			t.Errorf("lc service %s availability %.6f below bulk's %.6f", s.Name, s.Availability, bulkAvail)
+		}
+		if s.Availability < res.FleetAvailability {
+			t.Errorf("lc service %s availability %.6f below fleet-wide %.6f", s.Name, s.Availability, res.FleetAvailability)
+		}
+	}
+	if res.ShedOrderProofs < 1 {
+		t.Errorf("ShedOrderProofs = %d, want >= 1", res.ShedOrderProofs)
+	}
+	if res.ShedOrderViolations != 0 {
+		t.Errorf("ShedOrderViolations = %d, want 0: %+v", res.ShedOrderViolations, res.ShedObservations)
+	}
+	if res.LCShed != 0 {
+		t.Errorf("LCShed = %d latency-critical packets shed, want 0", res.LCShed)
+	}
+	if res.LoadsPreempted < 1 || len(res.PreemptionPairs) < 1 {
+		t.Errorf("preemption not proven: preempted=%d pairs=%d", res.LoadsPreempted, len(res.PreemptionPairs))
+	}
+	for _, p := range res.PreemptionPairs {
+		if p.ElectiveReqAt >= p.FailoverReqAt || p.FailoverStart >= p.ElectiveStart {
+			t.Errorf("invalid preemption pair: %+v", p)
+		}
+	}
+	if res.PeakConcurrentLoads > res.Budget {
+		t.Errorf("peak concurrent loads %d breached budget %d", res.PeakConcurrentLoads, res.Budget)
+	}
+	if res.Failovers == 0 {
+		t.Error("storm produced no failovers")
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("drill recorded no windows")
+	}
+	banded := 0
+	for _, w := range res.Windows {
+		banded += w.BulkShedNodes
+	}
+	if banded == 0 {
+		t.Error("no window saw a node inside the bulk-shed band")
+	}
+}

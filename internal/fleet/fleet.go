@@ -172,9 +172,39 @@ func DefaultConfig() Config {
 	}
 }
 
+// ServiceClass ranks a service's latency sensitivity. The class drives
+// the shedding order on thermally eroded nodes (bulk traffic sheds
+// first, latency-critical last; thermal.go) — not the PR-load priority
+// class, which is per load (failover vs elective; budget.go).
+type ServiceClass string
+
+const (
+	// ClassLatencyCritical services keep serving until the node itself
+	// degrades; the default class.
+	ClassLatencyCritical ServiceClass = "latency-critical"
+	// ClassBulk services are shed from a node once its thermal throttle
+	// crosses the bulk-shed floor, returning headroom to co-resident
+	// latency-critical traffic.
+	ClassBulk ServiceClass = "bulk"
+)
+
+// SLO is a service's per-service objective, evaluated by drills (the
+// control plane enforces the shedding *order*; the targets themselves
+// are gate inputs, not admission inputs).
+type SLO struct {
+	// P99 is the target 99th-percentile serve latency (0 = none).
+	P99 sim.Time
+	// Availability is the target served/sent ratio (0 = none).
+	Availability float64
+}
+
 // Service is a replicated workload the fleet hosts.
 type Service struct {
 	Name string
+	// Class ranks latency sensitivity ("" = latency-critical); SLO holds
+	// the per-service targets drills gate on.
+	Class ServiceClass
+	SLO   SLO
 	// Demands is the role's shell requirement (adapted per device at
 	// commission time: HBM falls back to DDR4 on HBM-less cards).
 	Demands shell.Demands
@@ -224,6 +254,9 @@ type Replica struct {
 	// flows is the replica's stateful LB state (nil for stateless
 	// services), bound to the hosting device's role control module.
 	flows *flowState
+	// elective marks a scale-out replica still waiting on the elective
+	// queue for budget headroom; Place skips it (placement.go).
+	elective bool
 }
 
 // Name identifies the replica, e.g. "layer4-lb/2".
@@ -258,6 +291,10 @@ type Node struct {
 	// busyUntil is the datapath backlog horizon used for queue-depth
 	// aware routing.
 	busyUntil sim.Time
+	// classServed counts served packets by service class
+	// ([0] latency-critical, [1] bulk), written by the owning shard's
+	// worker like busyUntil — the per-node shed-order evidence.
+	classServed [2]int64
 	replicas  map[string]*Replica
 	// svcCounts tracks replicas per service (anti-affinity input),
 	// maintained at admit/evict so placement never iterates replicas.
@@ -291,6 +328,12 @@ func (n *Node) Slots() int { return n.slots }
 
 // LastTemp reports the most recent heartbeat temperature (milli-degC).
 func (n *Node) LastTemp() uint32 { return n.lastTemp }
+
+// ClassServed reports the node's served-packet counts by service class.
+// Read between serve phases (the counters are shard-owned mid-phase).
+func (n *Node) ClassServed() (latencyCritical, bulk int64) {
+	return n.classServed[0], n.classServed[1]
+}
 
 // QueueDepth reports the node's outstanding datapath backlog at now —
 // the per-device congestion signal the router balances on.
@@ -339,8 +382,11 @@ type Cluster struct {
 	racks        *rackTier
 	gossip       *gossip.Group
 	gossipEvents []GossipEvent
-	// budget is the fleet-wide concurrent PR-load cap and its grant log.
-	budget *reconfigBudget
+	// budget is the fleet-wide concurrent PR-load cap and its grant log;
+	// electives are scale-out replicas queued for free headroom, drained
+	// oldest-first at heartbeat barriers (placement.go).
+	budget    *reconfigBudget
+	electives []electiveEntry
 	// prLoadFault, when set, decides per-attempt bitstream load failures
 	// on every node (chaos injection).
 	prLoadFault func(node, tenant string, slot, attempt int) bool
@@ -413,7 +459,15 @@ func (c *Cluster) AddService(s Service) error {
 	if _, dup := c.services[s.Name]; dup {
 		return fmt.Errorf("fleet: service %q already registered", s.Name)
 	}
+	switch s.Class {
+	case "", ClassLatencyCritical, ClassBulk:
+	default:
+		return fmt.Errorf("fleet: service %q has unknown class %q", s.Name, s.Class)
+	}
 	svc := s
+	if svc.Class == "" {
+		svc.Class = ClassLatencyCritical
+	}
 	if svc.Stateful {
 		if len(svc.Backends) == 0 {
 			return fmt.Errorf("fleet: stateful service %q needs backends", s.Name)
@@ -427,6 +481,7 @@ func (c *Cluster) AddService(s Service) error {
 	}
 	c.services[s.Name] = &svc
 	c.svcOrder = append(c.svcOrder, s.Name)
+	c.registerServiceMetrics(s.Name)
 	return nil
 }
 

@@ -156,6 +156,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	c.router.idx.mature(now)
 	if c.cfg.GossipHealth {
 		t := c.gossipHeartbeat(now)
+		c.drainElectives(now)
 		c.rackRefresh(now)
 		return t
 	}
@@ -202,6 +203,9 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 		e.K3, e.V3 = "probed", int64(probed)
 		c.ctrl.Add(e)
 	}
+	// Failovers this sweep have already taken their grants; whatever
+	// headroom remains goes to queued elective scale-outs.
+	c.drainElectives(now)
 	c.rackRefresh(now)
 	return c.transitions[before:]
 }

@@ -1,6 +1,9 @@
 package fleet
 
-import "harmonia/internal/sim"
+import (
+	"harmonia/internal/metrics"
+	"harmonia/internal/sim"
+)
 
 // The replica index maintains, incrementally, the per-service set of
 // dispatchable replicas — the same set candidates() derives by scanning
@@ -33,6 +36,22 @@ type pendingEntry struct {
 	readyAt sim.Time
 }
 
+// svcShardStats is one (service, shard) dispatch counter set. Each
+// shard's worker owns its entry between control-plane barriers (the
+// same ownership rule as routerShard), so per-service accounting rides
+// the batched path without locks; shed counts drops caused by the
+// class shedding order (bulk excluded from thermally eroded nodes),
+// a subset of dropped.
+type svcShardStats struct {
+	sent, served, dropped int64
+	healthy               int64
+	shed                  int64
+	bytes                 int64
+	// hist is the service's share of the current measurement window's
+	// latency distribution.
+	hist metrics.Histogram
+}
+
 // svcIndex is one service's dispatchable replicas, per router shard.
 type svcIndex struct {
 	// ready holds the matured, routable replicas of each shard, in
@@ -47,6 +66,13 @@ type svcIndex struct {
 	// slice is sized here, on the serial path, so the per-shard lazy
 	// rebuilds only ever index into it — workers never append.
 	disp []shardDisp
+	// bulk mirrors the service's class (fleet.go): bulk services are
+	// excluded from nodes past the bulk-shed line when the dispatch view
+	// rebuilds.
+	bulk bool
+	// stats holds the per-shard service counters, sized on the serial
+	// path like disp.
+	stats []svcShardStats
 }
 
 // replicaIndex is the cluster-wide incremental index.
@@ -87,6 +113,10 @@ func (idx *replicaIndex) svc(name string) *svcIndex {
 		si = &svcIndex{
 			ready: make([][]*Replica, idx.shards),
 			disp:  make([]shardDisp, idx.shards),
+			stats: make([]svcShardStats, idx.shards),
+		}
+		if s, ok := idx.c.services[name]; ok {
+			si.bulk = s.Class == ClassBulk
 		}
 		idx.svcs[name] = si
 	}

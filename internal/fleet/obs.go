@@ -34,10 +34,19 @@ const (
 	mNodes         = "harmonia_fleet_nodes"
 	mReplicas      = "harmonia_fleet_replicas"
 	mReplicasReady = "harmonia_fleet_replicas_placed"
-	mLoads         = "harmonia_pr_loads_total"
-	mLoadsQueued   = "harmonia_pr_loads_queued_total"
-	mLoadFailures  = "harmonia_pr_load_failures_total"
-	mLoadsPeak     = "harmonia_pr_loads_peak_concurrent"
+	mLoads           = "harmonia_pr_loads_total"
+	mLoadsQueued     = "harmonia_pr_loads_queued_total"
+	mLoadFailures    = "harmonia_pr_load_failures_total"
+	mLoadsPeak       = "harmonia_pr_loads_peak_concurrent"
+	mLoadsPreempted  = "harmonia_pr_loads_preempted_total"
+	mElectivesQueued = "harmonia_pr_electives_queued"
+
+	mSvcSent    = "harmonia_service_sent_total"
+	mSvcServed  = "harmonia_service_served_total"
+	mSvcDropped = "harmonia_service_dropped_total"
+	mSvcHealthy = "harmonia_service_healthy_served_total"
+	mSvcShed    = "harmonia_service_shed_total"
+	mSvcBytes   = "harmonia_service_bytes_total"
 	mFailovers     = "harmonia_failovers_total"
 	mTransitions   = "harmonia_transitions_total"
 	mMigrations    = "harmonia_migrations_total"
@@ -142,6 +151,10 @@ func (c *Cluster) registerMetrics() {
 		func() int64 { return c.rawLoadFailures() })
 	reg.Gauge(mLoadsPeak, "Peak concurrent PR loads since the last budget reset.",
 		func() float64 { return float64(peakConcurrent(c.budget.events)) })
+	reg.Counter(mLoadsPreempted, "Failover grants issued while elective loads were queued.",
+		func() int64 { return int64(c.budget.preempted) })
+	reg.Gauge(mElectivesQueued, "Elective scale-out loads waiting for budget headroom.",
+		func() float64 { return float64(len(c.electives)) })
 
 	// Gossip health dissemination (all zero while the detector is off).
 	reg.Counter(mGossipTicks, "Gossip detector protocol rounds.",
@@ -181,6 +194,48 @@ func (c *Cluster) registerMetrics() {
 			})
 	}
 }
+
+// registerServiceMetrics wires one service's labeled dispatch counters
+// at registration time (AddService): the callbacks re-look the svcIndex
+// up per read, because the router's freeze rebuilds the index map.
+func (c *Cluster) registerServiceMetrics(name string) {
+	labels := map[string]string{"service": name}
+	reg := c.reg
+	reg.CounterL(mSvcSent, labels, "Packets offered per service.",
+		func() int64 { return c.rawServiceStats(name).Sent })
+	reg.CounterL(mSvcServed, labels, "Packets served per service.",
+		func() int64 { return c.rawServiceStats(name).Served })
+	reg.CounterL(mSvcDropped, labels, "Packets dropped per service.",
+		func() int64 { return c.rawServiceStats(name).Dropped })
+	reg.CounterL(mSvcHealthy, labels, "Served packets landing on Healthy nodes, per service.",
+		func() int64 { return c.rawServiceStats(name).HealthyServed })
+	reg.CounterL(mSvcShed, labels, "Drops caused by the class shedding order, per service.",
+		func() int64 { return c.rawServiceStats(name).Shed })
+	reg.CounterL(mSvcBytes, labels, "Wire bytes served per service.",
+		func() int64 { return c.rawServiceStats(name).Bytes })
+}
+
+// ServiceStats reports one service's cumulative dispatch counters, read
+// through the registry like RouterStats.
+func (c *Cluster) ServiceStats(name string) ServiceSnapshot {
+	labels := map[string]string{"service": name}
+	intL := func(metric string) int64 {
+		v, _ := c.reg.ValueL(metric, labels)
+		return int64(v)
+	}
+	return ServiceSnapshot{
+		Sent:          intL(mSvcSent),
+		Served:        intL(mSvcServed),
+		Dropped:       intL(mSvcDropped),
+		HealthyServed: intL(mSvcHealthy),
+		Shed:          intL(mSvcShed),
+		Bytes:         intL(mSvcBytes),
+	}
+}
+
+// LoadsPreempted reports how many failover grants jumped the elective
+// queue, read through the registry.
+func (c *Cluster) LoadsPreempted() int { return int(c.reg.Int(mLoadsPreempted)) }
 
 // Metrics returns the cluster's metrics registry.
 func (c *Cluster) Metrics() *obs.Registry { return c.reg }

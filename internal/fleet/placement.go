@@ -111,29 +111,42 @@ func (c *Cluster) pickNode(svc *Service, exclude map[string]bool) *Node {
 }
 
 // admit places one replica on a node through the node's tenancy
+// manager with failover priority; see admitLoad.
+func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
+	return c.admitLoad(now, now, n, r, LoadFailover)
+}
+
+// admitLoad places one replica on a node through the node's tenancy
 // manager: the slot partially reconfigures and the flow director and
 // host queues take the replica's steering rules. The fleet-wide
 // reconfiguration budget gates the bitstream load — past the cap the
 // load queues behind the earliest in-flight completion, so its slot
-// reconfiguration (and the replica's ReadyAt) starts later.
-func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
+// reconfiguration (and the replica's ReadyAt) starts later. reqAt is
+// when the load was first requested (earlier than now for elective
+// loads drained from the queue); class is the budget priority class. A
+// failover grant issued while electives wait is a preemption: the
+// failover chains only behind in-flight loads, never behind the queue.
+func (c *Cluster) admitLoad(reqAt, now sim.Time, n *Node, r *Replica, class LoadClass) error {
 	logic := foldURAM(c.services[r.Service].Logic, n.Platform.Chip.Capacity.URAM > 0)
 	start := c.budget.acquire(now)
+	if class == LoadFailover && c.budget.limit > 0 && len(c.electives) > 0 {
+		c.budget.preempted++
+	}
 	t, err := n.Tenants.Admit(start, r.Name(), logic, []net.IPAddr{r.VIP})
 	if err != nil {
 		var le *tenancy.LoadError
 		if errors.As(err, &le) {
 			// The failed loads still held bitstream bandwidth.
-			c.budget.commit(now, start, le.BusyUntil, n.ID, false)
-			c.tracePRLoad(now, start, le.BusyUntil, n.ID, false)
+			c.budget.commit(reqAt, start, le.BusyUntil, n.ID, class, false)
+			c.tracePRLoad(reqAt, start, le.BusyUntil, n.ID, false)
 		} else {
-			c.budget.commit(now, start, start, n.ID, false)
-			c.tracePRLoad(now, start, start, n.ID, false)
+			c.budget.commit(reqAt, start, start, n.ID, class, false)
+			c.tracePRLoad(reqAt, start, start, n.ID, false)
 		}
 		return err
 	}
-	c.budget.commit(now, start, t.ReadyAt, n.ID, true)
-	c.tracePRLoad(now, start, t.ReadyAt, n.ID, true)
+	c.budget.commit(reqAt, start, t.ReadyAt, n.ID, class, true)
+	c.tracePRLoad(reqAt, start, t.ReadyAt, n.ID, true)
 	r.Node = n.ID
 	r.node = n
 	r.Tenant = t.ID
@@ -192,9 +205,11 @@ func (c *Cluster) Place(now sim.Time) ([]*Replica, error) {
 	}
 	// Schedule unplaced replicas, largest slot-utilization first
 	// (decreasing best-fit), name as the deterministic tie-break.
+	// Replicas waiting on the elective queue are not eligible: they
+	// start only when the budget has free headroom at a barrier.
 	var pending []*Replica
 	for _, r := range c.replicas {
-		if r.Node == "" {
+		if r.Node == "" && !r.elective {
 			pending = append(pending, r)
 		}
 	}
@@ -213,10 +228,68 @@ func (c *Cluster) Place(now sim.Time) ([]*Replica, error) {
 		if n == nil {
 			return placed, fmt.Errorf("fleet: no device can host %s", r.Name())
 		}
-		if err := c.admit(c.now, n, r); err != nil {
+		if err := c.admitLoad(c.now, c.now, n, r, LoadElective); err != nil {
 			return placed, err
 		}
 		placed = append(placed, r)
 	}
 	return placed, nil
 }
+
+// electiveEntry is one scale-out replica waiting for free budget
+// headroom, remembering when the expansion was requested.
+type electiveEntry struct {
+	r     *Replica
+	reqAt sim.Time
+}
+
+// ScaleService grows a registered service by extra replicas as
+// elective loads: the new replicas join the elective queue and are
+// admitted at control-plane barriers only while the reconfiguration
+// budget has a free slot, so they never delay failover re-placements
+// (which chain straight behind in-flight loads, preempting the queue).
+func (c *Cluster) ScaleService(now sim.Time, name string, extra int) error {
+	c.advance(now)
+	svc, ok := c.services[name]
+	if !ok {
+		return fmt.Errorf("fleet: unknown service %q", name)
+	}
+	base := svc.Replicas
+	svc.Replicas += extra
+	for i := 0; i < extra; i++ {
+		r := &Replica{Service: name, Index: base + i, VIP: vipFor(svc.VIPBase, base+i), elective: true}
+		c.replicas = append(c.replicas, r)
+		c.electives = append(c.electives, electiveEntry{r: r, reqAt: now})
+	}
+	c.drainElectives(now)
+	return nil
+}
+
+// drainElectives admits queued elective replicas into free budget
+// headroom, oldest first. It runs on the serial control-plane path at
+// every heartbeat barrier (and when the queue grows). Entries whose
+// admission fails structurally (no candidate node) stay queued; a
+// PR-load failure consumes the attempt and requeues at the tail, after
+// which the drain stops for this barrier — the budget slot the failed
+// load burned is real, and retrying the same node in a tight loop
+// would spin.
+func (c *Cluster) drainElectives(now sim.Time) {
+	for len(c.electives) > 0 && c.budget.free(now) {
+		e := c.electives[0]
+		n := c.pickNode(c.services[e.r.Service], nil)
+		if n == nil {
+			return
+		}
+		c.electives = c.electives[1:]
+		e.r.elective = false
+		if err := c.admitLoad(e.reqAt, now, n, e.r, LoadElective); err != nil {
+			e.r.elective = true
+			c.electives = append(c.electives, e)
+			return
+		}
+	}
+}
+
+// ElectivesQueued reports how many scale-out replicas are waiting for
+// budget headroom.
+func (c *Cluster) ElectivesQueued() int { return len(c.electives) }

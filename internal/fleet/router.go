@@ -144,6 +144,12 @@ type shardDisp struct {
 	qlo   []int32
 	qspan []int32
 	cache []flowEntry
+	// bulk mirrors the owning service's class; shed counts ready
+	// replicas this rebuild excluded because their node crossed the
+	// bulk-shed line — when it empties the view, packets landing here
+	// are shed, not merely unroutable.
+	bulk bool
+	shed int32
 }
 
 // tracePacket records one served packet's route span, subject to the
@@ -329,9 +335,21 @@ func (r *router) refreshDisp(si *svcIndex, s int) *shardDisp {
 	d.slot = d.slot[:0]
 	d.qlo = d.qlo[:0]
 	d.qspan = d.qspan[:0]
+	d.bulk = si.bulk
+	d.shed = 0
 	derived := r.c.cfg.DerivedShedding
 	for _, rep := range si.ready[s] {
 		n := rep.node
+		// Class shedding order: a bulk service's replicas leave the
+		// dispatch view once their node's thermal margin erodes past the
+		// bulk-shed line, reserving the throttled remainder for
+		// co-resident latency-critical traffic. lastTemp only moves at
+		// barriers (which bump the epoch), so the exclusion is frozen
+		// per view like every other penalty input.
+		if si.bulk && derived && r.c.shedsBulk(n.lastTemp) {
+			d.shed++
+			continue
+		}
 		if n.hotEpoch != r.epoch {
 			n.hotEpoch = r.epoch
 			n.hotSlot = int32(len(sh.hot))
@@ -454,6 +472,15 @@ func (c *Cluster) routeCached(sh *routerShard, d *shardDisp, h uint64, now sim.T
 	if rep.flows != nil {
 		rep.flows.process(p.Flow())
 	}
+	// Per-class serve counter on the node (shard-owned between barriers,
+	// like busyUntil): the shed-order evidence drills gate on — a node
+	// past the bulk-shed line serves latency-critical packets while its
+	// bulk count stays flat.
+	if d.bulk {
+		n.classServed[1]++
+	} else {
+		n.classServed[0]++
+	}
 	return routeResult{rep: rep, node: n, queue: q, done: done, served: true, healthy: hot.healthy}
 }
 
@@ -511,6 +538,8 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 		sh := r.shards[0]
 		sh.sent++
 		sh.dropped++
+		si.stats[0].sent++
+		si.stats[0].dropped++
 		if sh.trace != nil {
 			sh.traceDrop(now, "")
 		}
@@ -520,10 +549,22 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 	s := r.dispatchShard(si, h)
 	sh := r.shards[s]
 	d := r.refreshDisp(si, s)
+	st := &si.stats[s]
 	sh.sent++
+	st.sent++
 	res := c.routeCached(sh, d, h, now, p)
 	if !res.served {
 		sh.dropped++
+		st.dropped++
+		if res.node == nil {
+			// Class shedding emptied this shard's view: every ready
+			// replica sits on a node past the bulk-shed line.
+			st.shed++
+			if sh.trace != nil {
+				sh.traceDrop(now, "")
+			}
+			return Dispatch{Dropped: true}, fmt.Errorf("fleet: %s shed from all shard replicas", svc)
+		}
 		if sh.trace != nil {
 			sh.traceDrop(now, res.node.ID)
 		}
@@ -536,11 +577,15 @@ func (c *Cluster) Route(now sim.Time, svc string, p *net.Packet) (Dispatch, erro
 		return Dispatch{Replica: res.rep, Node: res.node.ID, Queue: int(res.queue), Dropped: true}, nil
 	}
 	sh.served++
+	st.served++
 	if res.healthy {
 		sh.healthy++
+		st.healthy++
 	}
 	sh.bytes += int64(p.WireBytes)
+	st.bytes += int64(p.WireBytes)
 	sh.hist.Add(res.done - now)
+	st.hist.Add(res.done - now)
 	if sh.trace != nil {
 		sh.tracePacket(now, res.done, res.node.ID, int64(p.WireBytes))
 	}
@@ -635,10 +680,15 @@ func (c *Cluster) rawRouterStats() RouterSnapshot {
 }
 
 // resetWindow starts a fresh latency measurement window on every shard
-// and the baseline path.
+// and the baseline path, including each service's share.
 func (r *router) resetWindow() {
 	for _, sh := range r.shards {
 		sh.hist.Reset()
+	}
+	for _, si := range r.idx.svcs {
+		for i := range si.stats {
+			si.stats[i].hist.Reset()
+		}
 	}
 	r.base.lat = &metrics.Latencies{}
 }
@@ -649,6 +699,54 @@ func (r *router) windowHist() *metrics.Histogram {
 	var h metrics.Histogram
 	for _, sh := range r.shards {
 		h.Merge(&sh.hist)
+	}
+	return &h
+}
+
+// ServiceSnapshot is one service's cumulative dispatch view, the
+// per-service analogue of RouterSnapshot. Shed counts drops caused by
+// the class shedding order (a subset of Dropped); for a
+// latency-critical service it stays zero by construction.
+type ServiceSnapshot struct {
+	Sent, Served, Dropped int64
+	HealthyServed         int64
+	Shed                  int64
+	Bytes                 int64
+}
+
+// rawServiceStats merges one service's dispatch counters across shards.
+// It feeds the registry's per-service callbacks; the public
+// ServiceStats accessor (obs.go) reads back through the registry. The
+// svcIndex is looked up at call time — freeze rebuilds the index map,
+// so callbacks must not capture the pre-freeze *svcIndex.
+func (c *Cluster) rawServiceStats(name string) ServiceSnapshot {
+	var snap ServiceSnapshot
+	si, ok := c.router.idx.svcs[name]
+	if !ok {
+		return snap
+	}
+	for i := range si.stats {
+		st := &si.stats[i]
+		snap.Sent += st.sent
+		snap.Served += st.served
+		snap.Dropped += st.dropped
+		snap.HealthyServed += st.healthy
+		snap.Shed += st.shed
+		snap.Bytes += st.bytes
+	}
+	return snap
+}
+
+// ServiceWindowLatencies merges one service's current-window latency
+// histograms across shards. Exact merge, shard-order independent.
+func (c *Cluster) ServiceWindowLatencies(name string) *metrics.Histogram {
+	var h metrics.Histogram
+	si, ok := c.router.idx.svcs[name]
+	if !ok {
+		return &h
+	}
+	for i := range si.stats {
+		h.Merge(&si.stats[i].hist)
 	}
 	return &h
 }

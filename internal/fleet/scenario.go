@@ -66,6 +66,15 @@ type Phase struct {
 	// computed once at prepare time, reused by dispatch, the flow cache
 	// and shard partitioning instead of re-hashing per use.
 	hashes []uint64
+	// multi/svcIdx carry a co-resident phase (PrepareMultiPhase): the
+	// per-service traffic shapes and each packet's index into them. nil
+	// for a single-service phase, which keeps the single-service run
+	// loop untouched. sis caches the per-traffic service indexes for the
+	// current quantum (resolved serially — freeze rebuilds the index
+	// map, so they cannot be captured at prepare time).
+	multi  []Traffic
+	svcIdx []uint8
+	sis    []*svcIndex
 }
 
 // Packets reports how many packets the phase offers.
@@ -81,24 +90,7 @@ func (ph *Phase) Shards() int { return len(ph.c.router.shards) }
 // (and its allocations) out of the measured serving window that
 // Phase.Run times.
 func (c *Cluster) PreparePhase(dur sim.Time, t Traffic) (*Phase, error) {
-	if dur <= 0 || t.OfferedGbps <= 0 || t.PktBytes < net.MinFrame {
-		return nil, fmt.Errorf("fleet: invalid traffic phase %+v over %v", t, dur)
-	}
-	if _, ok := c.services[t.Service]; !ok {
-		return nil, fmt.Errorf("fleet: unknown service %q", t.Service)
-	}
-	gap := sim.Time(float64((t.PktBytes+net.FrameOverhead)*8) / t.OfferedGbps * float64(sim.Nanosecond))
-	if gap < 1 {
-		gap = 1
-	}
-	count := int(dur/gap) + 1
-	pkts, err := workload.Packets(workload.PacketConfig{
-		Count: count, Size: t.PktBytes, Flows: t.Flows, Seed: t.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	arrivals, err := workload.Arrivals(count, gap, t.Jitter, t.Seed+1)
+	pkts, arrivals, err := c.genWorkload(dur, t)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +103,104 @@ func (c *Cluster) PreparePhase(dur sim.Time, t Traffic) (*Phase, error) {
 	return &Phase{c: c, t: t, dur: dur, pkts: pkts, arrivals: arrivals, hashes: hashes}, nil
 }
 
+// genWorkload validates one traffic shape and generates its seeded
+// packet stream and arrival times.
+func (c *Cluster) genWorkload(dur sim.Time, t Traffic) ([]*net.Packet, []sim.Time, error) {
+	if dur <= 0 || t.OfferedGbps <= 0 || t.PktBytes < net.MinFrame {
+		return nil, nil, fmt.Errorf("fleet: invalid traffic phase %+v over %v", t, dur)
+	}
+	if _, ok := c.services[t.Service]; !ok {
+		return nil, nil, fmt.Errorf("fleet: unknown service %q", t.Service)
+	}
+	gap := sim.Time(float64((t.PktBytes+net.FrameOverhead)*8) / t.OfferedGbps * float64(sim.Nanosecond))
+	if gap < 1 {
+		gap = 1
+	}
+	count := int(dur/gap) + 1
+	pkts, err := workload.Packets(workload.PacketConfig{
+		Count: count, Size: t.PktBytes, Flows: t.Flows, Seed: t.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	arrivals, err := workload.Arrivals(count, gap, t.Jitter, t.Seed+1)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkts, arrivals, nil
+}
+
+// PrepareMultiPhase validates a co-resident traffic phase — one shape
+// per service — and merges the per-service seeded streams into a single
+// arrival-ordered timeline (ties resolve by traffic order, then by
+// sequence within a stream, so the merge is deterministic). Each packet
+// remembers its service; dispatch then routes it through that service's
+// replica index exactly as a single-service phase would.
+func (c *Cluster) PrepareMultiPhase(dur sim.Time, traffics []Traffic) (*Phase, error) {
+	if len(traffics) == 0 {
+		return nil, fmt.Errorf("fleet: co-resident phase needs at least one traffic shape")
+	}
+	if len(traffics) == 1 {
+		return c.PreparePhase(dur, traffics[0])
+	}
+	if len(traffics) > 255 {
+		return nil, fmt.Errorf("fleet: co-resident phase supports at most 255 services, got %d", len(traffics))
+	}
+	seen := make(map[string]bool, len(traffics))
+	type stream struct {
+		pkts []*net.Packet
+		arr  []sim.Time
+	}
+	streams := make([]stream, len(traffics))
+	total := 0
+	for ti, t := range traffics {
+		if seen[t.Service] {
+			return nil, fmt.Errorf("fleet: duplicate traffic for service %q", t.Service)
+		}
+		seen[t.Service] = true
+		pkts, arr, err := c.genWorkload(dur, t)
+		if err != nil {
+			return nil, err
+		}
+		streams[ti] = stream{pkts: pkts, arr: arr}
+		total += len(pkts)
+	}
+	ph := &Phase{
+		c: c, t: traffics[0], dur: dur,
+		multi:    append([]Traffic(nil), traffics...),
+		pkts:     make([]*net.Packet, 0, total),
+		arrivals: make([]sim.Time, 0, total),
+		svcIdx:   make([]uint8, 0, total),
+		sis:      make([]*svcIndex, len(traffics)),
+	}
+	next := make([]int, len(streams))
+	for {
+		best := -1
+		for ti := range streams {
+			if next[ti] >= len(streams[ti].pkts) {
+				continue
+			}
+			if best < 0 || streams[ti].arr[next[ti]] < streams[best].arr[next[best]] {
+				best = ti
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ph.pkts = append(ph.pkts, streams[best].pkts[next[best]])
+		ph.arrivals = append(ph.arrivals, streams[best].arr[next[best]])
+		ph.svcIdx = append(ph.svcIdx, uint8(best))
+		next[best]++
+	}
+	ph.hashes = make([]uint64, len(ph.pkts))
+	for i, p := range ph.pkts {
+		ph.hashes[i] = p.Flow().Hash()
+	}
+	c.router.freeze()
+	c.router.idx.mature(c.now)
+	return ph, nil
+}
+
 // Serve runs one traffic phase of the given duration starting at the
 // cluster's current time, interleaving the periodic health monitor with
 // packet dispatch, and reports aggregate throughput/QPS/latency over
@@ -120,6 +210,19 @@ func (c *Cluster) PreparePhase(dur sim.Time, t Traffic) (*Phase, error) {
 // count (see Phase.Run).
 func (c *Cluster) Serve(dur sim.Time, t Traffic) (PhaseStats, error) {
 	ph, err := c.PreparePhase(dur, t)
+	if err != nil {
+		return PhaseStats{}, err
+	}
+	return ph.Run()
+}
+
+// ServeMulti runs one co-resident traffic phase — every service's
+// stream merged onto one timeline — under the same determinism contract
+// as Serve: aggregate PhaseStats and trace bytes are byte-identical
+// across worker counts and batch quanta. Per-service outcomes are read
+// via ServiceStats / ServiceWindowLatencies deltas around the call.
+func (c *Cluster) ServeMulti(dur sim.Time, traffics []Traffic) (PhaseStats, error) {
+	ph, err := c.PrepareMultiPhase(dur, traffics)
 	if err != nil {
 		return PhaseStats{}, err
 	}
@@ -231,6 +334,10 @@ func (ph *Phase) runQuantum(queues [][]int, work *[]int, i, j, workers int) {
 	if i >= j {
 		return
 	}
+	if ph.multi != nil {
+		ph.runQuantumMulti(queues, work, i, j, workers)
+		return
+	}
 	c := ph.c
 	r := c.router
 	si := r.idx.svc(ph.t.Service)
@@ -288,20 +395,26 @@ func (ph *Phase) runQuantum(queues [][]int, work *[]int, i, j, workers int) {
 // the batched inner loop: the dispatch view refreshes at most once per
 // epoch, every packet reuses its precomputed flow hash, and the shard
 // counters accumulate in locals flushed once per run instead of five
-// read-modify-writes per packet.
+// read-modify-writes per packet. The service's own per-shard counters
+// (svcShardStats) accumulate alongside and flush with them.
 func (ph *Phase) runShard(s int, idxs []int, si *svcIndex) {
 	c := ph.c
 	r := c.router
 	sh := r.shards[s]
 	d := r.refreshDisp(si, s)
+	st := &si.stats[s]
 	start := c.now
-	var served, dropped, healthy, bytes int64
+	var served, dropped, healthy, shed, bytes int64
 	for _, k := range idxs {
 		now := start + ph.arrivals[k]
 		p := ph.pkts[k]
 		res := c.routeCached(sh, d, ph.hashes[k], now, p)
 		if !res.served {
 			dropped++
+			if res.node == nil && d.shed > 0 {
+				// Class shedding emptied the view: the drop is a shed.
+				shed++
+			}
 			if sh.trace != nil {
 				node := ""
 				if res.node != nil {
@@ -317,6 +430,7 @@ func (ph *Phase) runShard(s int, idxs []int, si *svcIndex) {
 		}
 		bytes += int64(p.WireBytes)
 		sh.hist.Add(res.done - now)
+		st.hist.Add(res.done - now)
 		if sh.trace != nil {
 			sh.tracePacket(now, res.done, res.node.ID, int64(p.WireBytes))
 		}
@@ -326,6 +440,149 @@ func (ph *Phase) runShard(s int, idxs []int, si *svcIndex) {
 	sh.dropped += dropped
 	sh.healthy += healthy
 	sh.bytes += bytes
+	st.sent += int64(len(idxs))
+	st.served += served
+	st.dropped += dropped
+	st.healthy += healthy
+	st.shed += shed
+	st.bytes += bytes
+}
+
+// runQuantumMulti is runQuantum for a co-resident phase: each packet
+// partitions onto the shard its *own* service's dispatch chooses, so
+// two services' flows with the same hash can land on different shards
+// (per-service active sets differ). Shard subsequences stay fixed by
+// (service, flow hash) — worker-count invariant exactly as the single-
+// service path.
+func (ph *Phase) runQuantumMulti(queues [][]int, work *[]int, i, j, workers int) {
+	c := ph.c
+	r := c.router
+	for ti, t := range ph.multi {
+		ph.sis[ti] = r.idx.svc(t.Service)
+	}
+	for s := range queues {
+		queues[s] = queues[s][:0]
+	}
+	for k := i; k < j; k++ {
+		h := ph.hashes[k]
+		si := ph.sis[ph.svcIdx[k]]
+		var s int
+		if len(si.active) > 0 {
+			s = r.dispatchShard(si, h)
+		} else {
+			// Nothing can serve this service: spread the drops over all
+			// shards so counters stay shard-consistent.
+			s = int(h % uint64(len(queues)))
+		}
+		queues[s] = append(queues[s], k)
+	}
+	*work = (*work)[:0]
+	for s := range queues {
+		if len(queues[s]) > 0 {
+			*work = append(*work, s)
+		}
+	}
+	if workers <= 1 || len(*work) == 1 || j-i < serialQuantum {
+		for _, s := range *work {
+			ph.runShardMulti(s, queues[s])
+		}
+		return
+	}
+	if workers > len(*work) {
+		workers = len(*work)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := atomic.AddInt64(&next, 1) - 1
+				if k >= int64(len(*work)) {
+					return
+				}
+				s := (*work)[k]
+				ph.runShardMulti(s, queues[s])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// svcAcc is one service's per-run counter accumulator in runShardMulti.
+type svcAcc struct {
+	sent, served, dropped, healthy, shed, bytes int64
+}
+
+// runShardMulti routes one shard's merged subsequence: packets of all
+// services interleave in arrival order, each dispatching through its
+// own service's view (refreshed at most once per run), with counters
+// accumulated per service and flushed once.
+func (ph *Phase) runShardMulti(s int, idxs []int) {
+	c := ph.c
+	r := c.router
+	sh := r.shards[s]
+	start := c.now
+	nsvc := len(ph.multi)
+	ds := make([]*shardDisp, nsvc)
+	accs := make([]svcAcc, nsvc)
+	for _, k := range idxs {
+		ti := ph.svcIdx[k]
+		si := ph.sis[ti]
+		d := ds[ti]
+		if d == nil {
+			d = r.refreshDisp(si, s)
+			ds[ti] = d
+		}
+		a := &accs[ti]
+		a.sent++
+		now := start + ph.arrivals[k]
+		p := ph.pkts[k]
+		res := c.routeCached(sh, d, ph.hashes[k], now, p)
+		if !res.served {
+			a.dropped++
+			if res.node == nil && d.shed > 0 {
+				a.shed++
+			}
+			if sh.trace != nil {
+				node := ""
+				if res.node != nil {
+					node = res.node.ID
+				}
+				sh.traceDrop(now, node)
+			}
+			continue
+		}
+		a.served++
+		if res.healthy {
+			a.healthy++
+		}
+		a.bytes += int64(p.WireBytes)
+		sh.hist.Add(res.done - now)
+		si.stats[s].hist.Add(res.done - now)
+		if sh.trace != nil {
+			sh.tracePacket(now, res.done, res.node.ID, int64(p.WireBytes))
+		}
+	}
+	for ti := range accs {
+		a := &accs[ti]
+		if a.sent == 0 {
+			continue
+		}
+		st := &ph.sis[ti].stats[s]
+		st.sent += a.sent
+		st.served += a.served
+		st.dropped += a.dropped
+		st.healthy += a.healthy
+		st.shed += a.shed
+		st.bytes += a.bytes
+		sh.sent += a.sent
+		sh.served += a.served
+		sh.dropped += a.dropped
+		sh.healthy += a.healthy
+		sh.bytes += a.bytes
+	}
 }
 
 // RunBaseline executes the phase on the pre-shard serial path: a
@@ -333,6 +590,9 @@ func (ph *Phase) runShard(s int, idxs []int, si *svcIndex) {
 // It is the before-side of the fleet3 control-plane benchmark and the
 // behavioral oracle for the fast path.
 func (ph *Phase) RunBaseline() (PhaseStats, error) {
+	if ph.multi != nil {
+		return PhaseStats{}, fmt.Errorf("fleet: baseline path does not serve co-resident phases")
+	}
 	c := ph.c
 	start := c.now
 	before := c.RouterStats()
@@ -399,9 +659,12 @@ func compatiblePlatforms(svc Service) []*platform.Device {
 	return out
 }
 
-// BuildCluster commissions a heterogeneous fleet of n devices (cycling
-// the compatible catalog models) hosting `replicas` replicas of the
-// named application, and places them.
+// BuildCluster is the single-application convenience over
+// BuildCoResidentCluster: it commissions a heterogeneous fleet of n
+// devices (cycling the compatible catalog models) hosting `replicas`
+// replicas of one named application, and places them. Co-resident
+// deployments — several services with distinct demand sets sharing the
+// fleet — go through BuildCoResidentCluster directly.
 func BuildCluster(cfg Config, appName string, n, replicas int) (*Cluster, error) {
 	info, err := apps.Lookup(appName)
 	if err != nil {
@@ -414,16 +677,51 @@ func BuildCluster(cfg Config, appName string, n, replicas int) (*Cluster, error)
 // hosting the given service (which may carry stateful-LB settings
 // AppService does not produce), and places its replicas.
 func BuildServiceCluster(cfg Config, svc Service, n int) (*Cluster, error) {
+	return BuildCoResidentCluster(cfg, []Service{svc}, n)
+}
+
+// BuildCoResidentCluster commissions a heterogeneous fleet of n devices
+// shared by every given service — the paper's multi-tenant deployment
+// shape. Services register first so their merged demand set shapes
+// every shell; the device mix cycles the catalog models compatible
+// with *all* services (each service's demands and PCIe floor must
+// adapt), and placement bin-packs all services' replicas together,
+// anti-affinity spreading each service across the shared nodes.
+func BuildCoResidentCluster(cfg Config, svcs []Service, n int) (*Cluster, error) {
+	if len(svcs) == 0 {
+		return nil, fmt.Errorf("fleet: co-resident cluster needs at least one service")
+	}
 	c, err := NewCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.AddService(svc); err != nil {
-		return nil, err
+	for _, svc := range svcs {
+		if err := c.AddService(svc); err != nil {
+			return nil, err
+		}
 	}
-	models := compatiblePlatforms(svc)
+	// Intersect per-service compatibility, keeping catalog order from
+	// the first service's list.
+	models := compatiblePlatforms(svcs[0])
+	for _, svc := range svcs[1:] {
+		ok := map[string]bool{}
+		for _, d := range compatiblePlatforms(svc) {
+			ok[d.Name] = true
+		}
+		kept := models[:0]
+		for _, d := range models {
+			if ok[d.Name] {
+				kept = append(kept, d)
+			}
+		}
+		models = kept
+	}
 	if len(models) == 0 {
-		return nil, fmt.Errorf("fleet: no catalog device can host %s", svc.Name)
+		names := make([]string, len(svcs))
+		for i, svc := range svcs {
+			names[i] = svc.Name
+		}
+		return nil, fmt.Errorf("fleet: no catalog device can host all of %v", names)
 	}
 	for i := 0; i < n; i++ {
 		model := models[i%len(models)]

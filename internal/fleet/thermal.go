@@ -39,6 +39,27 @@ func throttleFactor(temp, shedStart, alarm uint32) float64 {
 	return 1 - erosion*(1-shedFloorFactor)
 }
 
+// bulkShedFactor is the throttle factor at which a node stops taking
+// bulk-class traffic entirely: once the die is derated to half speed,
+// the remaining throughput is reserved for co-resident latency-critical
+// services. Bulk therefore sheds strictly before latency-critical —
+// latency-critical traffic keeps flowing until the alarm line, where
+// derived shedding makes the node unroutable for every class.
+const bulkShedFactor = 0.5
+
+// shedsBulk reports whether a node at temp (milli-degC) has eroded past
+// the bulk-shed line. Only meaningful with DerivedShedding; the static
+// policy has no pre-alarm signal to order classes by.
+func (c *Cluster) shedsBulk(temp uint32) bool {
+	if !c.cfg.DerivedShedding {
+		return false
+	}
+	return throttleFactor(temp, c.shedStart(), c.cfg.DegradeMilliC) <= bulkShedFactor
+}
+
+// ShedsBulk exposes the bulk-shed line for drills and validation.
+func (c *Cluster) ShedsBulk(temp uint32) bool { return c.shedsBulk(temp) }
+
 // shedStart resolves the temperature where derived shedding begins.
 func (c *Cluster) shedStart() uint32 {
 	if c.cfg.ShedStartMilliC > 0 {
