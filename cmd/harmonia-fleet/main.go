@@ -11,9 +11,12 @@
 // budgeted and static vs derived shedding, emitted as
 // BENCH_chaos.json), the gossip smoke drill (a full
 // suspect/refute/confirm protocol cycle on a seeded fleet, emitted as
-// BENCH_gossip.json), and the multi-service co-residency drill (the
+// BENCH_gossip.json), the multi-service co-residency drill (the
 // storm replayed against three services of different classes sharing
-// one fleet, emitted as BENCH_coresidency.json).
+// one fleet, emitted as BENCH_coresidency.json), and the crash-safe
+// rebalancing drill (a fragmented fleet rebalanced through
+// pre-copy + delta-replay moves under migration-targeted fault
+// injection, emitted as BENCH_rebalance.json).
 //
 // Usage:
 //
@@ -26,7 +29,9 @@
 //	harmonia-fleet -scenario chaos -trace trace.json -metrics metrics.prom
 //	harmonia-fleet -scenario gossip -devices 300 -seed 11 -racks 8
 //	harmonia-fleet -scenario coresidency -devices 120 -seed 11 -budget 6
+//	harmonia-fleet -scenario rebalance -devices 24 -seed 11 -budget 2
 //	harmonia-fleet -scenario tracecheck -trace trace.json
+//	harmonia-fleet -scenario tracecheck -trace rebal.json -cats packet,prload,heartbeat,rebalance
 //
 // The bench sweep's default sizes now reach the 10000-node scale
 // point: the serial baseline is skipped there, and the report gates on
@@ -73,11 +78,12 @@ type options struct {
 	tracePath   string // Chrome trace-event output (chaos) / input (tracecheck)
 	metricsPath string // Prometheus text exposition output
 	flightN     int    // flight-recorder ring size per track
+	cats        string // tracecheck: required-category override
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | coresidency | tracecheck")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | coresidency | rebalance | tracecheck")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
@@ -89,6 +95,7 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "chaos: write a Chrome trace-event file; tracecheck: file to validate")
 	flag.StringVar(&o.metricsPath, "metrics", "", "chaos: write the merged registries as Prometheus text")
 	flag.IntVar(&o.flightN, "flight", 2048, "chaos: flight-recorder ring size per track (when -trace is not set)")
+	flag.StringVar(&o.cats, "cats", "", "tracecheck: comma-separated required categories (default: the chaos taxonomy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -96,7 +103,7 @@ func main() {
 	// The generic -devices default (4) suits scale/drill; the chaos,
 	// gossip and co-residency drills carry their own tentpole fleet
 	// sizes. Only an explicit -devices overrides them.
-	if o.scenario == "chaos" || o.scenario == "gossip" || o.scenario == "coresidency" {
+	if o.scenario == "chaos" || o.scenario == "gossip" || o.scenario == "coresidency" || o.scenario == "rebalance" {
 		devicesGiven := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "devices" {
@@ -164,10 +171,12 @@ func run(w io.Writer, o options) error {
 		return runGossip(w, o)
 	case "coresidency":
 		return runCoResidency(w, o)
+	case "rebalance":
+		return runRebalance(w, o)
 	case "tracecheck":
 		return runTraceCheck(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip, coresidency or tracecheck)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip, coresidency, rebalance or tracecheck)", o.scenario)
 	}
 }
 
@@ -695,6 +704,116 @@ func runCoResidency(w io.Writer, o options) error {
 	return nil
 }
 
+// runRebalance runs the fleet9 crash-safe rebalancing drill: a
+// fragmented fleet rebalanced three times — a clean planned cycle under
+// a corrupted delta frame and a stalled table read, a source kill
+// mid-pre-copy degrading to snapshot-fallback failover, and a budget-1
+// run where a concurrent failover preempts the pending moves.
+func runRebalance(w io.Writer, o options) error {
+	opts := fleet.DefaultRebalanceOptions()
+	if o.devices > 0 {
+		opts.Devices = o.devices
+	}
+	// The drill's tentpole budget (2) differs from the -budget default
+	// tuned for chaos; only an explicit flag overrides it.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "budget" {
+			opts.Budget = o.budget
+		}
+	})
+	opts.Seed = o.seed
+	var rec *obs.Recorder
+	if o.tracePath != "" {
+		rec = obs.NewRecorder()
+	} else {
+		rec = obs.NewFlightRecorder(o.flightN)
+	}
+	opts.Trace = rec
+	rep, d, err := bench.FleetRebalanceReport(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "crash-safe rebalancing drill: %s on %d devices, seed %d, budget %d, cold-restart bound %.4f\n\n",
+		rep.App, rep.Devices, rep.Seed, rep.Budget, rep.ColdRestartBound)
+	fmt.Fprintf(w, "%-12s %-9s %-9s %-8s %-8s %-8s %-11s %-10s %-10s %-6s %-6s %-7s\n",
+		"case", "frag-pre", "frag-post", "done", "aborted", "retries",
+		"disruption", "reclaimed", "fallbacks", "peak", "pairs", "budget")
+	for _, cc := range rep.Cases {
+		fmt.Fprintf(w, "%-12s %-9.4f %-9.4f %-8d %-8d %-8d %-11.4f %-10d %-10d %-6d %-6d %-7d\n",
+			cc.Name, cc.FragScoreBefore, cc.FragScoreAfter, cc.MovesDone, cc.MovesAborted,
+			cc.Retries, cc.Disruption, cc.QueuesReclaimed, cc.SnapshotFallbacks,
+			cc.PeakLoads, cc.PreemptionPairs, cc.Budget)
+	}
+	fmt.Fprintf(w, "\ncarries all flows:   %v\nfrag decreases:      %v\nfaulted within bound: %v\nfailover preempts:   %v\n",
+		rep.CarriesAllFlows, rep.FragDecreases, rep.FaultedWithinBound, rep.FailoverPreempts)
+	fmt.Fprintln(w, "\nrebalance moves:")
+	for _, cc := range d.Cases {
+		for _, m := range cc.Records {
+			if m.PlannedAt == 0 {
+				continue
+			}
+			outcome := "done"
+			if m.Aborted {
+				outcome = "aborted"
+			}
+			fmt.Fprintf(w, "  %s: %s %s -> %s planned %v pre-copy %d delta %d retries %d %s\n",
+				cc.Name, m.Replica, m.From, m.To, m.PlannedAt,
+				m.PreCopyRows, m.DeltaRows, m.Retries, outcome)
+		}
+	}
+	path := o.jsonPath
+	if path == "BENCH_fleet.json" { // the -json flag default belongs to bench
+		path = "BENCH_rebalance.json"
+	}
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	if o.tracePath != "" {
+		if err := writeTraceFile(o.tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		var regs []*obs.Registry
+		for _, cc := range d.Cases {
+			if cc.Registry != nil {
+				regs = append(regs, cc.Registry)
+			}
+		}
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteProm(f, regs...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.metricsPath)
+	}
+	if !rep.Gates() {
+		if o.tracePath == "" {
+			const flightPath = "rebalance-flight.json"
+			if werr := writeTraceFile(flightPath, rec); werr == nil {
+				return fmt.Errorf("rebalance gates failed; flight recording in %s; reproduce with: %s",
+					flightPath, rep.Repro)
+			}
+		}
+		return fmt.Errorf("rebalance gates failed; reproduce with: %s", rep.Repro)
+	}
+	return nil
+}
+
 // writeTraceFile exports a recorder as Chrome trace-event JSON.
 func writeTraceFile(path string, rec *obs.Recorder) error {
 	f, err := os.Create(path)
@@ -718,16 +837,27 @@ var traceRequiredCats = []obs.Cat{
 
 // runTraceCheck validates a trace file: parseable Chrome trace-event
 // JSON, complete event fields, monotonic timestamps, and at least one
-// event of every required category.
+// event of every required category. The default requirement is the
+// chaos taxonomy; -cats overrides it (the rebalance trace, say,
+// carries rebalance spans but no gossip).
 func runTraceCheck(w io.Writer, o options) error {
 	if o.tracePath == "" {
 		return fmt.Errorf("tracecheck needs -trace <file>")
+	}
+	required := traceRequiredCats
+	if strings.TrimSpace(o.cats) != "" {
+		required = nil
+		for _, part := range strings.Split(o.cats, ",") {
+			if s := strings.TrimSpace(part); s != "" {
+				required = append(required, obs.Cat(s))
+			}
+		}
 	}
 	data, err := os.ReadFile(o.tracePath)
 	if err != nil {
 		return err
 	}
-	stats, err := obs.ValidateTrace(data, traceRequiredCats)
+	stats, err := obs.ValidateTrace(data, required)
 	if err != nil {
 		return fmt.Errorf("tracecheck %s: %w", o.tracePath, err)
 	}
@@ -735,7 +865,7 @@ func runTraceCheck(w io.Writer, o options) error {
 		o.tracePath, stats.Events, stats.Metadata)
 	for _, cat := range []obs.Cat{obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat,
 		obs.CatHealth, obs.CatMigration, obs.CatFault, obs.CatCmd,
-		obs.CatRack, obs.CatGossip} {
+		obs.CatRack, obs.CatGossip, obs.CatRebalance} {
 		if n := stats.ByCat[string(cat)]; n > 0 {
 			fmt.Fprintf(w, "  %-10s %d\n", cat, n)
 		}

@@ -53,6 +53,29 @@ const (
 	// pool mid-storm, so re-pinned flows can land on different backends
 	// than established ones — what makes flow disruption measurable.
 	DrainBackend Kind = "drain-backend"
+
+	// Migration-targeted injections: each arms a one-shot latch in the
+	// cluster that fires when the *next* rebalance move reaches the
+	// matching phase, so the fault lands mid-migration deterministically
+	// regardless of when the move was planned. Node is ignored (-1): the
+	// move's own source/target are the victims.
+	//
+	// RebalanceKillSource kills the move's source node the moment
+	// pre-copy starts — the table read fails, retries exhaust, and the
+	// health monitor independently fails the node over via the
+	// snapshot-fallback path.
+	RebalanceKillSource Kind = "rebalance-kill-source"
+	// RebalanceKillTarget kills the move's target node before cutover —
+	// the delta writes fail and the move aborts back to the
+	// still-serving source.
+	RebalanceKillTarget Kind = "rebalance-kill-target"
+	// RebalanceCorruptDelta flips one word of the next delta frame in
+	// transit, forcing a decode error on import and a bounded retry with
+	// a clean resend.
+	RebalanceCorruptDelta Kind = "rebalance-corrupt-delta"
+	// RebalanceStallRead stalls the next pre-copy TableRead past the
+	// phase timeout, burning one retry attempt.
+	RebalanceStallRead Kind = "rebalance-stall-read"
 )
 
 // Injection is one scheduled fault. Node is a commission index into
@@ -75,6 +98,8 @@ func (i Injection) String() string {
 		return fmt.Sprintf("%v %s p=%.2f", i.At, i.Kind, i.Prob)
 	case PRFaultEnd:
 		return fmt.Sprintf("%v %s", i.At, i.Kind)
+	case RebalanceKillSource, RebalanceKillTarget, RebalanceCorruptDelta, RebalanceStallRead:
+		return fmt.Sprintf("%v %s (latched)", i.At, i.Kind)
 	default:
 		return fmt.Sprintf("%v %s node=%d", i.At, i.Kind, i.Node)
 	}

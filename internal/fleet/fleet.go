@@ -144,6 +144,25 @@ type Config struct {
 	// SuspectAfter is how many ticks an unrefuted gossip suspicion
 	// stands before escalating to per-tick confirmation probes (0 = 2).
 	SuspectAfter int
+	// Rebalance arms the background rebalancer: at heartbeat barriers it
+	// scores fragmentation (stranded queue ranges, slot imbalance,
+	// placement drift), drains the worst node through crash-safe
+	// pre-copy + delta-replay moves, and rebuilds its queue allocator.
+	// SetRebalance toggles it at runtime.
+	Rebalance bool
+	// RebalanceEvery is the planning cadence in heartbeat barriers
+	// (0 = 8). Active moves still step every barrier.
+	RebalanceEvery int
+	// RebalanceTimeout bounds each move phase; a phase outliving it
+	// aborts the move back to the still-serving source
+	// (0 = 4×ReconfigTime).
+	RebalanceTimeout sim.Time
+	// RebalanceRetries bounds failed attempts per move phase before the
+	// move aborts (0 = 2).
+	RebalanceRetries int
+	// RebalanceBackoff delays a phase retry, doubling per attempt
+	// (0 = 2×Heartbeat).
+	RebalanceBackoff sim.Time
 	// DerivedShedding replaces the static ×4 degraded-node routing
 	// penalty with one derived from thermal margin: cost scales with
 	// the die's modeled throttling as temperature erodes the margin to
@@ -318,6 +337,10 @@ type Node struct {
 	// the commission order position — the gossip member id.
 	rack  int
 	index int
+	// rebuilding marks a node the rebalancer is draining for a queue
+	// rebuild: it keeps serving its current replicas but takes no new
+	// placements until the rebuild completes.
+	rebuilding bool
 }
 
 // State reports the node's health state.
@@ -390,6 +413,9 @@ type Cluster struct {
 	// prLoadFault, when set, decides per-attempt bitstream load failures
 	// on every node (chaos injection).
 	prLoadFault func(node, tenant string, slot, attempt int) bool
+	// rebalance is the background rebalancer's barrier-stepped state
+	// (rebalance.go); nil until the first enable.
+	rebalance *rebalancer
 
 	// reg is the cluster's metrics registry: every layer registers
 	// read-through callbacks at construction, and the public stats
@@ -411,7 +437,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.SnapshotEvery < 0 || cfg.MaxConcurrentLoads < 0 ||
 		cfg.LoadRetries < 0 || cfg.LoadBackoff < 0 ||
 		cfg.Racks < 0 || cfg.GossipFanout < 0 || cfg.GossipPiggyback < 0 ||
-		cfg.SuspectAfter < 0 {
+		cfg.SuspectAfter < 0 ||
+		cfg.RebalanceEvery < 0 || cfg.RebalanceTimeout < 0 ||
+		cfg.RebalanceRetries < 0 || cfg.RebalanceBackoff < 0 {
 		return nil, fmt.Errorf("fleet: invalid config %+v", cfg)
 	}
 	if cfg.ShedStartMilliC > 0 && cfg.ShedStartMilliC >= cfg.DegradeMilliC {
@@ -433,6 +461,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.budget = &reconfigBudget{limit: cfg.MaxConcurrentLoads}
 	c.reg = obs.NewRegistry()
 	c.registerMetrics()
+	if cfg.Rebalance {
+		c.SetRebalance(true)
+	}
 	return c, nil
 }
 

@@ -157,6 +157,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	if c.cfg.GossipHealth {
 		t := c.gossipHeartbeat(now)
 		c.drainElectives(now)
+		c.stepRebalance(now)
 		c.rackRefresh(now)
 		return t
 	}
@@ -206,6 +207,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	// Failovers this sweep have already taken their grants; whatever
 	// headroom remains goes to queued elective scale-outs.
 	c.drainElectives(now)
+	c.stepRebalance(now)
 	c.rackRefresh(now)
 	return c.transitions[before:]
 }
@@ -317,8 +319,9 @@ func (c *Cluster) evacuate(now sim.Time, n *Node, reason string, evict bool) Fai
 			if err := c.writeFlowSnapshot(target, r, flows); err == nil {
 				mr := MigrationRecord{
 					Replica: r.Name(), From: n.ID, To: target.ID, At: r.ReadyAt,
-					Live:  live,
-					Flows: len(flows), Restored: r.flows.restored, Dropped: r.flows.dropped,
+					Live:     live,
+					Flows:    len(flows), Restored: r.flows.restored, Dropped: r.flows.dropped,
+					CutoverAt: r.ReadyAt,
 				}
 				if !live {
 					mr.SnapshotAge = now - snapAt

@@ -53,6 +53,15 @@ type flowState struct {
 	importNext uint32
 	// restored/dropped report the last completed import.
 	restored, dropped int
+	// sincePins counts flows pinned since the last periodic snapshot
+	// capture — the exact staleness a dead-node fallback loses.
+	sincePins int
+	// dirty, while armed, logs every pin made after a rebalance move's
+	// pre-copy capture; the delta replayed before cutover. Appends happen
+	// on the shard worker owning this replica's packets, arming and
+	// draining on the serial barrier path — never concurrently.
+	dirtyArmed bool
+	dirty      []apps.ConnEntry
 }
 
 func (fs *flowState) pool() *apps.Maglev { return fs.c.pools[fs.service] }
@@ -63,7 +72,14 @@ func (fs *flowState) process(k net.FlowKey) {
 	if _, ok := fs.table.Lookup(k); ok {
 		return
 	}
-	fs.table.Pin(k, fs.pool().Lookup(k))
+	b := fs.pool().Lookup(k)
+	if !fs.table.Pin(k, b) {
+		return
+	}
+	fs.sincePins++
+	if fs.dirtyArmed {
+		fs.dirty = append(fs.dirty, apps.ConnEntry{Key: k, Backend: b})
+	}
 }
 
 // assignment reports where the replica sends a flow right now: its pin
@@ -219,6 +235,7 @@ func (c *Cluster) snapshotNode(now sim.Time, n *Node) {
 			continue
 		}
 		c.snapshots[r.Name()] = flowSnap{at: now, entries: entries}
+		r.flows.sincePins = 0
 		if c.ctrl != nil {
 			e := obs.Instant(obs.CatMigration, "snapshot", now)
 			e.K1, e.V1 = "replica", r.Name()
@@ -252,6 +269,19 @@ type MigrationRecord struct {
 	// Flows entries were carried; Restored made it into the new table;
 	// Dropped exceeded its capacity.
 	Flows, Restored, Dropped int
+
+	// Rebalance-move accounting: the per-phase timestamps (zero when the
+	// phase never ran — failover migrations only stamp CutoverAt) and row
+	// split make any migration auditable from the record alone.
+	// PlannedAt is when the move was planned, PreCopyAt when the
+	// pre-copy snapshot was captured, DeltaAt when the dirty log was
+	// replayed, CutoverAt when routing flipped (== At for failovers).
+	PlannedAt, PreCopyAt, DeltaAt, CutoverAt sim.Time
+	// PreCopyRows came over in the pre-copy stream, DeltaRows in the
+	// delta replay; Retries counts failed phase attempts that were
+	// retried; Aborted marks a move rolled back to the source.
+	PreCopyRows, DeltaRows, Retries int
+	Aborted                         bool
 }
 
 // Migrations returns every completed flow-table migration.

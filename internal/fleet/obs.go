@@ -53,6 +53,10 @@ const (
 	mThermalMax    = "harmonia_thermal_max_milli_c"
 	mSimNow        = "harmonia_sim_now_ps"
 
+	mFragmentation  = "harmonia_fleet_fragmentation"
+	mStrandedQueues = "harmonia_fleet_stranded_queues"
+	mRebalanceMoves = "harmonia_rebalance_moves_total"
+
 	mGossipTicks    = "harmonia_gossip_ticks_total"
 	mGossipProbes   = "harmonia_gossip_probes_total"
 	mGossipDigests  = "harmonia_gossip_digests_total"
@@ -155,6 +159,24 @@ func (c *Cluster) registerMetrics() {
 		func() int64 { return int64(c.budget.preempted) })
 	reg.Gauge(mElectivesQueued, "Elective scale-out loads waiting for budget headroom.",
 		func() float64 { return float64(len(c.electives)) })
+
+	// Fragmentation and background rebalancing.
+	reg.Gauge(mFragmentation, "Fleet fragmentation score (0.6 queue frag + 0.2 slot imbalance + 0.2 drift).",
+		func() float64 { return c.rawFragmentation().Score })
+	reg.Gauge(mStrandedQueues, "Host queues retired by evictions and not yet reclaimed, fleet-wide.",
+		func() float64 { return float64(c.rawFragmentation().StrandedQueues) })
+	for _, outcome := range []string{"done", "aborted"} {
+		outcome := outcome
+		reg.CounterL(mRebalanceMoves, map[string]string{"outcome": outcome},
+			"Rebalance moves by outcome.",
+			func() int64 {
+				s := c.RebalanceStats()
+				if outcome == "done" {
+					return int64(s.MovesDone)
+				}
+				return int64(s.MovesAborted)
+			})
+	}
 
 	// Gossip health dissemination (all zero while the detector is off).
 	reg.Counter(mGossipTicks, "Gossip detector protocol rounds.",

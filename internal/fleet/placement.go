@@ -30,8 +30,17 @@ func (c *Cluster) canHost(n *Node, svc *Service) error {
 	if n.state != Healthy {
 		return fmt.Errorf("node %s is %s", n.ID, n.state)
 	}
+	if n.rebuilding {
+		return fmt.Errorf("node %s is rebuilding", n.ID)
+	}
 	if n.Tenants == nil || n.Tenants.FreeSlots() == 0 {
 		return fmt.Errorf("node %s has no free slot", n.ID)
+	}
+	// Retired queue ranges are never recycled, so a node can exhaust its
+	// hardware queues while slots are still free — exactly the
+	// fragmentation the rebalancer reclaims.
+	if !n.Tenants.CanAllocate() {
+		return fmt.Errorf("node %s has no queue headroom", n.ID)
 	}
 	return n.staticHostErr(svc)
 }
@@ -129,7 +138,8 @@ func (c *Cluster) admit(now sim.Time, n *Node, r *Replica) error {
 func (c *Cluster) admitLoad(reqAt, now sim.Time, n *Node, r *Replica, class LoadClass) error {
 	logic := foldURAM(c.services[r.Service].Logic, n.Platform.Chip.Capacity.URAM > 0)
 	start := c.budget.acquire(now)
-	if class == LoadFailover && c.budget.limit > 0 && len(c.electives) > 0 {
+	if class == LoadFailover && c.budget.limit > 0 &&
+		(len(c.electives) > 0 || c.pendingRebalanceMoves() > 0) {
 		c.budget.preempted++
 	}
 	t, err := n.Tenants.Admit(start, r.Name(), logic, []net.IPAddr{r.VIP})

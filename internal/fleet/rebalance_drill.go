@@ -1,0 +1,339 @@
+package fleet
+
+import (
+	"fmt"
+
+	"harmonia/internal/apps"
+	"harmonia/internal/faults"
+	"harmonia/internal/net"
+	"harmonia/internal/obs"
+	"harmonia/internal/sim"
+)
+
+// The fleet9 rebalance drill proves the crash-safety contract of the
+// background rebalancer: a planned drain-and-rebuild cycle carries
+// every established flow with zero disruption, a source killed
+// mid-pre-copy degrades to the snapshot-fallback failover path bounded
+// by the cold-restart baseline, and a concurrent failover preempts an
+// in-flight rebalance move on the PR-load budget — all provable from
+// the migration records and the budget grant log of one seeded run.
+//
+// Each case builds the same fleet, fragments it through four
+// drain→revive churn cycles (stranding retired queue ranges on the
+// churned nodes), then serves traffic with the rebalancer armed while
+// case-specific migration faults fire.
+
+// rebalWindowDur is the measurement window of the rebalance phase.
+const rebalWindowDur = 100 * sim.Microsecond
+
+// rebalChurnRounds is how many drain→revive cycles fragment the fleet
+// before the rebalancer starts.
+const rebalChurnRounds = 4
+
+// RebalanceOptions shapes the fleet9 drill.
+type RebalanceOptions struct {
+	// Devices is the fleet size.
+	Devices int
+	// Budget is the concurrent PR-load cap (the preempt case forces 1).
+	Budget int
+	// Seed drives traffic and router sampling.
+	Seed int64
+	// Trace, when set, records each case into its own trace process.
+	Trace *obs.Recorder
+}
+
+// DefaultRebalanceOptions returns the tentpole drill configuration.
+func DefaultRebalanceOptions() RebalanceOptions {
+	return RebalanceOptions{Devices: 24, Budget: 2, Seed: 11}
+}
+
+// RebalanceCase is one run of the drill under one fault scenario.
+type RebalanceCase struct {
+	Name    string
+	Windows int
+	Budget  int
+	// Armed lists the migration faults latched before the run.
+	Armed []string
+
+	// FragBefore/FragAfter are the fleet fragmentation scores at the
+	// rebalancer's start and end — the planned case must strictly
+	// decrease the score.
+	FragBefore, FragAfter FragmentationStats
+
+	// Flow disruption against the pre-rebalance pins: of the flows
+	// established before the rebalancer started, how many land on a
+	// different backend after it.
+	Established, Disrupted int
+	Disruption             float64
+
+	// Stats are the rebalancer's move and rebuild counters; Records
+	// every migration (rebalance moves carry PlannedAt > 0, failover
+	// evacuations do not).
+	Stats   RebalanceStats
+	Records []MigrationRecord
+
+	// Budget evidence.
+	PeakConcurrentLoads int
+	LoadsPreempted      int
+	PreemptionPairs     []PreemptionPair
+
+	// Failovers counts node evacuations during the rebalance phase;
+	// SnapshotMigrations of the migrations took the periodic-snapshot
+	// fallback (the kill-source degradation path).
+	Failovers          int
+	SnapshotMigrations int
+
+	// Metrics is the end-of-run registry snapshot; Registry the live
+	// registry for Prometheus export.
+	Metrics  map[string]float64
+	Registry *obs.Registry
+}
+
+// RebalanceDrillResult is the fleet9 report.
+type RebalanceDrillResult struct {
+	Devices int
+	Seed    int64
+	Budget  int
+	Cases   []RebalanceCase
+}
+
+// rebalanceCaseSpec fixes one case's windows, budget and fault plan.
+type rebalanceCaseSpec struct {
+	name    string
+	windows int
+	budget  int
+	arm     []faults.Kind
+	// killUnrelatedAt, when >= 0, kills a node uninvolved in any move at
+	// that window's start — the concurrent failover the budget must let
+	// preempt the pending moves.
+	killUnrelatedAt int
+}
+
+// rebalanceBackends is the drill's initial backend pool.
+func rebalanceBackends() []net.IPAddr {
+	out := make([]net.IPAddr, 8)
+	for i := range out {
+		out[i] = net.IPv4(10, 3, 0, byte(i+1))
+	}
+	return out
+}
+
+// rebalTraffic derives one window's deterministic traffic phase.
+func rebalTraffic(seed int64, window int) Traffic {
+	return Traffic{
+		Service: chaosApp, OfferedGbps: 100, PktBytes: 1024,
+		Flows: 2048, Jitter: 0.2,
+		Seed: seed*2_000_003 + int64(window+16)*1000,
+	}
+}
+
+// pickUnrelatedNode finds the highest-commissioned healthy node that
+// hosts replicas and is neither the rebuild victim nor any move's
+// target — killing it exercises failover preemption without touching
+// the moves themselves.
+func pickUnrelatedNode(c *Cluster) *Node {
+	excluded := map[string]bool{}
+	if rb := c.rebalance; rb != nil {
+		if rb.victim != nil {
+			excluded[rb.victim.ID] = true
+		}
+		for _, mv := range rb.moves {
+			if mv.dst != nil {
+				excluded[mv.dst.ID] = true
+			}
+		}
+	}
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		n := c.nodes[i]
+		if n.state == Healthy && !excluded[n.ID] && len(n.replicas) > 0 {
+			return n
+		}
+	}
+	return nil
+}
+
+// runRebalanceCase builds, fragments and rebalances one fleet.
+func runRebalanceCase(opts RebalanceOptions, spec rebalanceCaseSpec) (*RebalanceCase, error) {
+	cfg := DefaultConfig()
+	cfg.Seed = opts.Seed
+	// The drill's windows are short relative to the production snapshot
+	// cadence; keep the dead-node fallback fresh enough to bound the
+	// kill-source case (fleet4 uses the same setting).
+	cfg.SnapshotEvery = 2
+
+	info, err := apps.Lookup(chaosApp)
+	if err != nil {
+		return nil, err
+	}
+	svc := AppService(info, 2*opts.Devices, net.IPv4(20, 0, 0, 1))
+	svc.Stateful = true
+	svc.Backends = rebalanceBackends()
+	c, err := BuildServiceCluster(cfg, svc, opts.Devices)
+	if err != nil {
+		return nil, err
+	}
+	c.Metrics().SetConstLabels(map[string]string{"case": spec.name})
+	if opts.Trace != nil {
+		c.SetTrace(opts.Trace.Process(spec.name))
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	if _, err := c.Serve(300*sim.Microsecond, rebalTraffic(opts.Seed, -1)); err != nil {
+		return nil, err
+	}
+
+	// Fragment: drain a node (its evictions retire queue ranges), let the
+	// evacuation settle, revive it empty, and serve so re-placements and
+	// fresh pins land on the churned topology.
+	nodes := c.Nodes()
+	for round := 0; round < rebalChurnRounds; round++ {
+		id := nodes[round].ID
+		if _, err := c.DrainNode(c.Now(), id); err != nil {
+			return nil, err
+		}
+		c.RunMonitorUntil(c.Now() + cfg.ReconfigTime + 4*cfg.Heartbeat)
+		if err := c.Revive(c.Now(), id); err != nil {
+			return nil, err
+		}
+		if _, err := c.Serve(rebalWindowDur, rebalTraffic(opts.Seed, -2-round)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drain one backend so the pool disagrees with established pins: a
+	// migration that loses rows now shows up as disruption, exactly as in
+	// the fleet4 baseline this drill is bounded by.
+	if _, err := c.RemoveBackend(chaosApp, rebalanceBackends()[0], false); err != nil {
+		return nil, err
+	}
+
+	// Ground truth: every pin established before the rebalancer starts.
+	pins := make(map[string][]apps.ConnEntry)
+	for _, r := range c.Replicas() {
+		if r.flows != nil {
+			pins[r.Name()] = r.flows.table.Snapshot()
+		}
+	}
+
+	cc := &RebalanceCase{Name: spec.name, Windows: spec.windows, Budget: spec.budget}
+	cc.FragBefore = c.Fragmentation()
+	c.SetLoadBudget(spec.budget)
+	c.SetRebalance(true)
+	for _, kind := range spec.arm {
+		if err := c.ArmMigrationFault(kind); err != nil {
+			return nil, err
+		}
+		cc.Armed = append(cc.Armed, string(kind))
+	}
+	preFailovers := len(c.Failovers())
+
+	for w := 0; w < spec.windows; w++ {
+		if w == spec.killUnrelatedAt {
+			victim := pickUnrelatedNode(c)
+			if victim == nil {
+				return nil, fmt.Errorf("fleet: no unrelated node to kill at window %d", w)
+			}
+			c.traceFault(string(faults.KillNode), victim.ID, 0)
+			if err := c.Kill(victim.ID); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := c.Serve(rebalWindowDur, rebalTraffic(opts.Seed, w)); err != nil {
+			return nil, err
+		}
+	}
+	c.SetRebalance(false)
+	cc.FragAfter = c.Fragmentation()
+	cc.Stats = c.RebalanceStats()
+	cc.Records = c.Migrations()
+	cc.Failovers = len(c.Failovers()) - preFailovers
+	for _, m := range cc.Records {
+		if !m.Live {
+			cc.SnapshotMigrations++
+		}
+	}
+
+	// Disruption against the pre-rebalance pins; a replica that lost its
+	// home disrupts every flow it held.
+	byName := map[string]*Replica{}
+	for _, r := range c.Replicas() {
+		byName[r.Name()] = r
+	}
+	for name, entries := range pins {
+		r := byName[name]
+		for _, e := range entries {
+			cc.Established++
+			if r == nil || r.Node == "" || r.flows == nil {
+				cc.Disrupted++
+				continue
+			}
+			if r.flows.assignment(e.Key) != e.Backend {
+				cc.Disrupted++
+			}
+		}
+	}
+	if cc.Established > 0 {
+		cc.Disruption = float64(cc.Disrupted) / float64(cc.Established)
+	}
+
+	// Preemption evidence: every (elective, failover) grant pair where
+	// the elective asked first but the failover started first.
+	events := c.LoadEvents()
+	for _, f := range events {
+		if f.Class != LoadFailover {
+			continue
+		}
+		for _, e := range events {
+			if e.Class != LoadElective || e.ReqAt >= f.ReqAt || f.Start >= e.Start {
+				continue
+			}
+			cc.PreemptionPairs = append(cc.PreemptionPairs, PreemptionPair{
+				ElectiveNode: e.Node, ElectiveReqAt: e.ReqAt, ElectiveStart: e.Start,
+				FailoverNode: f.Node, FailoverReqAt: f.ReqAt, FailoverStart: f.Start,
+			})
+			if len(cc.PreemptionPairs) >= 16 {
+				break
+			}
+		}
+		if len(cc.PreemptionPairs) >= 16 {
+			break
+		}
+	}
+	cc.LoadsPreempted = c.LoadsPreempted()
+	cc.PeakConcurrentLoads = c.LoadBudgetPeak()
+	cc.Registry = c.Metrics()
+	cc.Metrics = cc.Registry.Values()
+	return cc, nil
+}
+
+// RebalanceDrill runs the fleet9 experiment: the same fragmented fleet
+// rebalanced three times — a clean planned cycle (with a corrupted
+// delta frame and a stalled table read to prove the retry machinery), a
+// source kill mid-pre-copy (degrading to snapshot-fallback failover),
+// and a budget-1 run where a concurrent failover preempts the pending
+// moves.
+func RebalanceDrill(opts RebalanceOptions) (*RebalanceDrillResult, error) {
+	if opts.Devices < 8 {
+		return nil, fmt.Errorf("fleet: rebalance drill needs at least 8 devices, got %d", opts.Devices)
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("fleet: rebalance drill needs a positive budget, got %d", opts.Budget)
+	}
+	specs := []rebalanceCaseSpec{
+		{name: "planned", windows: 80, budget: opts.Budget,
+			arm:             []faults.Kind{faults.RebalanceCorruptDelta, faults.RebalanceStallRead},
+			killUnrelatedAt: -1},
+		{name: "kill-source", windows: 80, budget: opts.Budget,
+			arm:             []faults.Kind{faults.RebalanceKillSource},
+			killUnrelatedAt: -1},
+		{name: "preempt", windows: 150, budget: 1, killUnrelatedAt: 6},
+	}
+	res := &RebalanceDrillResult{Devices: opts.Devices, Seed: opts.Seed, Budget: opts.Budget}
+	for _, spec := range specs {
+		cc, err := runRebalanceCase(opts, spec)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: rebalance case %s: %w", spec.name, err)
+		}
+		res.Cases = append(res.Cases, *cc)
+	}
+	return res, nil
+}

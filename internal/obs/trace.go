@@ -56,6 +56,10 @@ const (
 	// CatGossip covers SWIM detector events: suspected, refuted,
 	// confirmed.
 	CatGossip Cat = "gossip"
+	// CatRebalance covers background rebalance moves: per-phase spans
+	// (planned, pre-copy, delta-replay), cutover and rebuild instants,
+	// and abort instants with their reason.
+	CatRebalance Cat = "rebalance"
 )
 
 // Event phase codes (Chrome trace-event "ph" field).

@@ -101,6 +101,13 @@ func (h *HostRBB) AssignQueue(queue, tenant int) error {
 	return nil
 }
 
+// ReleaseQueue returns a queue to the unowned pool — the host half of
+// reclaiming a retired tenant range on rebuild. Releasing an unowned
+// queue is a no-op.
+func (h *HostRBB) ReleaseQueue(queue int) {
+	delete(h.queueOwner, queue)
+}
+
 // Owner reports the tenant owning a queue.
 func (h *HostRBB) Owner(queue int) (int, bool) {
 	t, ok := h.queueOwner[queue]

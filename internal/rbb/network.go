@@ -104,6 +104,21 @@ func (d *FlowDirector) AddTenant(id, lo, hi int) error {
 	return nil
 }
 
+// RemoveTenant forgets a tenant's queue range and every steering rule
+// pointing at it — the scrub half of a drain-and-rebuild cycle. It is
+// idempotent: removing an unknown tenant is a no-op.
+func (d *FlowDirector) RemoveTenant(id int) {
+	delete(d.tenants, id)
+	for dst, t := range d.rules {
+		if t == id {
+			delete(d.rules, dst)
+		}
+	}
+	if d.defaultTenant == id {
+		d.defaultTenant = -1
+	}
+}
+
 // AddRule routes traffic destined to ipDst to a tenant.
 func (d *FlowDirector) AddRule(ipDst net.IPAddr, tenant int) error {
 	if _, ok := d.tenants[tenant]; !ok {

@@ -182,6 +182,14 @@ func (m *Manager) Admit(now sim.Time, name string, logic hdl.Resources, vips []n
 	if slotIdx < 0 {
 		return nil, fmt.Errorf("tenancy: no free slot for %s (have %d tenants)", name, len(m.tenants))
 	}
+	// Queue exhaustion must fail before anything is allocated or loaded:
+	// retired ranges are never recycled, so a long-lived manager can run
+	// out of queues while slots are still free. Failing here keeps the
+	// director and host untouched (no leaked rules or ownership).
+	if m.nextQ+m.cfg.QueuesPerTenant > m.host.Spec().QueueCount {
+		return nil, fmt.Errorf("tenancy: host queues exhausted for %s: need [%d,%d) of %d (retired ranges are not recycled; rebuild the node to reclaim)",
+			name, m.nextQ, m.nextQ+m.cfg.QueuesPerTenant, m.host.Spec().QueueCount)
+	}
 
 	// Run the load attempts before allocating anything: a load that
 	// fails its whole retry budget must not leak director rules or
@@ -250,6 +258,46 @@ func (m *Manager) Evict(now sim.Time, tenantID int) (sim.Time, error) {
 	m.slots[t.Slot] = slot{occupant: -1, busyUntil: done}
 	delete(m.tenants, tenantID)
 	return done, nil
+}
+
+// CanAllocate reports whether another tenant's queue range still fits
+// under the hardware queue count — the placement-time check that keeps
+// schedulers off queue-exhausted nodes.
+func (m *Manager) CanAllocate() bool {
+	return m.nextQ+m.cfg.QueuesPerTenant <= m.host.Spec().QueueCount
+}
+
+// QueueHorizon reports the allocation high-water mark: every queue
+// below it has been handed to some tenant, active or retired.
+func (m *Manager) QueueHorizon() int { return m.nextQ }
+
+// QueuesRetired reports how many host queues past evictions have
+// stranded: the allocation horizon minus what active tenants still own.
+// It only shrinks on Rebuild.
+func (m *Manager) QueuesRetired() int {
+	return m.nextQ - len(m.tenants)*m.cfg.QueuesPerTenant
+}
+
+// Rebuild resets the queue allocator after a full drain, reclaiming
+// every retired range: director entries and rules for all past tenant
+// IDs are scrubbed, host queue ownership below the horizon is released,
+// and the horizon returns to zero. It refuses while tenants remain —
+// live queue ranges cannot be moved under a running tenant. Tenant IDs
+// stay monotonic across rebuilds so per-tenant table IDs never collide
+// with a predecessor's.
+func (m *Manager) Rebuild() (reclaimed int, err error) {
+	if len(m.tenants) != 0 {
+		return 0, fmt.Errorf("tenancy: rebuild with %d tenants still admitted", len(m.tenants))
+	}
+	reclaimed = m.nextQ
+	for id := 0; id < m.nextID; id++ {
+		m.director.RemoveTenant(id)
+	}
+	for q := 0; q < m.nextQ; q++ {
+		m.host.ReleaseQueue(q)
+	}
+	m.nextQ = 0
+	return reclaimed, nil
 }
 
 // Owner reports which tenant owns a host queue.

@@ -266,3 +266,87 @@ func TestAdmitWaitsOutBusySlotFromFailedLoad(t *testing.T) {
 		t.Errorf("ReadyAt = %v, want %v (queued behind failed load)", tn.ReadyAt, want)
 	}
 }
+
+func TestQueueExhaustionGuard(t *testing.T) {
+	m, _, _ := newManager(t)
+	// Burn the queue horizon through admit/evict cycles: retired ranges
+	// are never recycled, so the horizon only grows.
+	cycles := 0
+	for ; m.CanAllocate(); cycles++ {
+		if cycles > 1000 {
+			t.Fatal("queue horizon never exhausted")
+		}
+		tn, err := m.Admit(0, "churn", smallLogic(), nil)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycles, err)
+		}
+		if _, err := m.Evict(0, tn.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FreeSlots() != m.cfg.Slots {
+		t.Fatalf("FreeSlots = %d, want all %d free", m.FreeSlots(), m.cfg.Slots)
+	}
+	// Slots are free but the queues are gone: admission must fail before
+	// touching the director or host.
+	if _, err := m.Admit(0, "late", smallLogic(), nil); err == nil {
+		t.Fatal("admission succeeded on a queue-exhausted manager")
+	}
+	if got := m.QueuesRetired(); got != cycles*m.cfg.QueuesPerTenant {
+		t.Errorf("QueuesRetired = %d, want %d", got, cycles*m.cfg.QueuesPerTenant)
+	}
+	if m.QueueHorizon() != m.QueuesRetired() {
+		t.Errorf("horizon %d != retired %d with no tenants admitted",
+			m.QueueHorizon(), m.QueuesRetired())
+	}
+}
+
+func TestRebuildReclaimsRetiredQueues(t *testing.T) {
+	m, _, h := newManager(t)
+	a, err := m.Admit(0, "tenant-a", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Admit(0, "tenant-b", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Evict(0, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A rebuild refuses while a tenant still runs: its live queue range
+	// cannot be moved underneath it.
+	if _, err := m.Rebuild(); err == nil {
+		t.Fatal("rebuild succeeded with a tenant still admitted")
+	}
+	if _, err := m.Evict(0, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	horizon := m.QueueHorizon()
+	reclaimed, err := m.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != horizon {
+		t.Errorf("reclaimed %d queues, want the whole horizon %d", reclaimed, horizon)
+	}
+	if m.QueuesRetired() != 0 || m.QueueHorizon() != 0 {
+		t.Errorf("retired %d, horizon %d after rebuild, want 0/0",
+			m.QueuesRetired(), m.QueueHorizon())
+	}
+	if owner, ok := h.Owner(0); ok {
+		t.Errorf("queue 0 still owned by tenant %d after rebuild", owner)
+	}
+	// The allocator restarts at zero but tenant IDs stay monotonic, so
+	// new table IDs never collide with a predecessor's.
+	c, err := m.Admit(0, "tenant-c", smallLogic(), []net.IPAddr{net.IPv4(20, 0, 0, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.QueueLo != 0 {
+		t.Errorf("post-rebuild QueueLo = %d, want 0", c.QueueLo)
+	}
+	if c.ID <= b.ID {
+		t.Errorf("tenant ID %d not monotonic past %d after rebuild", c.ID, b.ID)
+	}
+}
