@@ -13,10 +13,12 @@
 // suspect/refute/confirm protocol cycle on a seeded fleet, emitted as
 // BENCH_gossip.json), the multi-service co-residency drill (the
 // storm replayed against three services of different classes sharing
-// one fleet, emitted as BENCH_coresidency.json), and the crash-safe
+// one fleet, emitted as BENCH_coresidency.json), the crash-safe
 // rebalancing drill (a fragmented fleet rebalanced through
 // pre-copy + delta-replay moves under migration-targeted fault
-// injection, emitted as BENCH_rebalance.json).
+// injection, emitted as BENCH_rebalance.json), and the SLO drill (the
+// storm judged by error-budget windows, burn-rate alerts and causal
+// postmortems, emitted as BENCH_slo.json).
 //
 // Usage:
 //
@@ -30,6 +32,7 @@
 //	harmonia-fleet -scenario gossip -devices 300 -seed 11 -racks 8
 //	harmonia-fleet -scenario coresidency -devices 120 -seed 11 -budget 6
 //	harmonia-fleet -scenario rebalance -devices 24 -seed 11 -budget 2
+//	harmonia-fleet -scenario slo -devices 120 -seed 11 -budget 6
 //	harmonia-fleet -scenario tracecheck -trace trace.json
 //	harmonia-fleet -scenario tracecheck -trace rebal.json -cats packet,prload,heartbeat,rebalance
 //
@@ -83,7 +86,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | coresidency | rebalance | tracecheck")
+	flag.StringVar(&o.scenario, "scenario", "scale", "scale | drill | bench | migrate | chaos | gossip | coresidency | rebalance | slo | tracecheck")
 	flag.StringVar(&o.app, "app", "layer4-lb", "application to replicate across the fleet")
 	flag.IntVar(&o.devices, "devices", 4, "fleet size (sweep upper bound for scale)")
 	flag.Float64Var(&o.gbps, "gbps", 40, "offered load per device (Gbps)")
@@ -103,7 +106,7 @@ func main() {
 	// The generic -devices default (4) suits scale/drill; the chaos,
 	// gossip and co-residency drills carry their own tentpole fleet
 	// sizes. Only an explicit -devices overrides them.
-	if o.scenario == "chaos" || o.scenario == "gossip" || o.scenario == "coresidency" || o.scenario == "rebalance" {
+	if o.scenario == "chaos" || o.scenario == "gossip" || o.scenario == "coresidency" || o.scenario == "rebalance" || o.scenario == "slo" {
 		devicesGiven := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "devices" {
@@ -173,10 +176,12 @@ func run(w io.Writer, o options) error {
 		return runCoResidency(w, o)
 	case "rebalance":
 		return runRebalance(w, o)
+	case "slo":
+		return runSLO(w, o)
 	case "tracecheck":
 		return runTraceCheck(w, o)
 	default:
-		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip, coresidency, rebalance or tracecheck)", o.scenario)
+		return fmt.Errorf("unknown scenario %q (want scale, drill, bench, migrate, chaos, gossip, coresidency, rebalance, slo or tracecheck)", o.scenario)
 	}
 }
 
@@ -814,6 +819,105 @@ func runRebalance(w io.Writer, o options) error {
 	return nil
 }
 
+// runSLO runs the fleet10 SLO drill: the failure storm against the
+// co-resident fleet with error-budget windows, burn-rate alerting and
+// causal postmortems armed, gated on the storm firing attributed
+// latency-critical alerts, a fault-free control staying silent, every
+// alert resolving inside the recovery bound, and byte-identical alert
+// state across the batch-quantum/worker sweep.
+func runSLO(w io.Writer, o options) error {
+	opts := fleet.DefaultSLOOptions()
+	if o.devices > 0 {
+		opts.Devices = o.devices
+	}
+	// The drill's tentpole budget (6) differs from the -budget default
+	// tuned for chaos; only an explicit flag overrides it.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "budget" {
+			opts.Budget = o.budget
+		}
+	})
+	opts.Seed = o.seed
+	var rec *obs.Recorder
+	if o.tracePath != "" {
+		rec = obs.NewRecorder()
+	} else {
+		rec = obs.NewFlightRecorder(o.flightN)
+	}
+	opts.Trace = rec
+	rep, d, err := bench.FleetSLOReport(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "slo drill: %d services on %d devices, rack size %d, seed %d, budget %d\n",
+		len(rep.Services), rep.Devices, rep.RackSize, rep.Seed, rep.Budget)
+	fmt.Fprintf(w, "storm: %d injections over [%v, %v]; windows %s; lookback %v\n\n",
+		len(rep.Injections), d.StormStart, d.StormEnd,
+		strings.Join(rep.Windows, ","), d.Lookback)
+	fmt.Fprintf(w, "%-14s %-18s %-9s %-13s %-10s %-8s %-9s\n",
+		"service", "class", "target", "availability", "peak-burn", "firings", "resolves")
+	for _, s := range rep.Services {
+		fmt.Fprintf(w, "%-14s %-18s %-9.4f %-13.4f %-10.1f %-8d %-9d\n",
+			s.Name, s.Class, s.Target, s.Availability, s.PeakFastBurn, s.Firings, s.Resolves)
+	}
+	fmt.Fprintf(w, "\nalerts: %d firings (%d latency-critical), %d unattributed; control: %d firings, %d attributions\n",
+		rep.FiringsTotal, rep.FiringsLC, rep.UnattributedFirings,
+		rep.ControlFirings, rep.ControlAttributions)
+	fmt.Fprintf(w, "resolution: all resolved %v, last at %v, bound %v\n",
+		rep.AllResolved, d.LastResolvedAt, d.RecoveryBound)
+	fmt.Fprintf(w, "sweep: %s\n", strings.Join(rep.SweepVariants, "; "))
+	if rep.Timeline != "" {
+		fmt.Fprintf(w, "\n%s", rep.Timeline)
+	}
+	fmt.Fprintf(w, "\nalerts attributed: %v\nalerts resolved:   %v\ndeterministic:     %v\n",
+		rep.AlertsAttributed, rep.AlertsResolved, rep.Deterministic)
+	path := o.jsonPath
+	if path == "BENCH_fleet.json" { // the -json flag default belongs to bench
+		path = "BENCH_slo.json"
+	}
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", path)
+	}
+	if o.tracePath != "" {
+		if err := writeTraceFile(o.tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteProm(f, d.Registry)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.metricsPath)
+	}
+	if !rep.Gates() {
+		if o.tracePath == "" {
+			const flightPath = "slo-flight.json"
+			if werr := writeTraceFile(flightPath, rec); werr == nil {
+				return fmt.Errorf("slo gates failed; flight recording in %s; reproduce with: %s",
+					flightPath, rep.Repro)
+			}
+		}
+		return fmt.Errorf("slo gates failed; reproduce with: %s", rep.Repro)
+	}
+	return nil
+}
+
 // writeTraceFile exports a recorder as Chrome trace-event JSON.
 func writeTraceFile(path string, rec *obs.Recorder) error {
 	f, err := os.Create(path)
@@ -865,7 +969,7 @@ func runTraceCheck(w io.Writer, o options) error {
 		o.tracePath, stats.Events, stats.Metadata)
 	for _, cat := range []obs.Cat{obs.CatPacket, obs.CatPRLoad, obs.CatHeartbeat,
 		obs.CatHealth, obs.CatMigration, obs.CatFault, obs.CatCmd,
-		obs.CatRack, obs.CatGossip, obs.CatRebalance} {
+		obs.CatRack, obs.CatGossip, obs.CatRebalance, obs.CatSLO, obs.CatAlert} {
 		if n := stats.ByCat[string(cat)]; n > 0 {
 			fmt.Fprintf(w, "  %-10s %d\n", cat, n)
 		}

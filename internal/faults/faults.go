@@ -340,6 +340,49 @@ func (s *Schedule) Trace(b *obs.Buffer) {
 	}
 }
 
+// Window reports the scheduled injections with from <= At <= to, in
+// schedule order — the attribution query the postmortem engine asks
+// ("which faults were live inside this alert's lookback window?").
+func (s *Schedule) Window(from, to sim.Time) []Injection {
+	var out []Injection
+	for _, inj := range s.Injections {
+		if inj.At >= from && inj.At <= to {
+			out = append(out, inj)
+		}
+	}
+	return out
+}
+
+// CausalEvents renders the whole schedule as ground-truth causal
+// events for the postmortem engine. subject maps a target node index
+// to its fleet ID ("" for fleet-wide injections); nil uses the raw
+// index.
+func (s *Schedule) CausalEvents(subject func(node int) string) []obs.CausalEvent {
+	out := make([]obs.CausalEvent, 0, len(s.Injections))
+	for _, inj := range s.Injections {
+		sub := ""
+		if inj.Node >= 0 {
+			if subject != nil {
+				sub = subject(inj.Node)
+			} else {
+				sub = fmt.Sprintf("node-%d", inj.Node)
+			}
+		}
+		detail := ""
+		switch inj.Kind {
+		case ThermalSet, CorruptStart, DrainBackend:
+			detail = fmt.Sprintf("arg=%d", inj.Arg)
+		case PRFaultStart:
+			detail = fmt.Sprintf("p=%.2f", inj.Prob)
+		}
+		out = append(out, obs.CausalEvent{
+			At: inj.At, Kind: string(inj.Kind), Subject: sub,
+			Detail: detail, Scheduled: true,
+		})
+	}
+	return out
+}
+
 // End reports the time of the last injection.
 func (s *Schedule) End() sim.Time {
 	var end sim.Time

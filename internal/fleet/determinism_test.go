@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 
+	"harmonia/internal/hdl"
 	"harmonia/internal/sim"
 )
 
@@ -73,6 +75,97 @@ func TestServeDeterministicRepeatable(t *testing.T) {
 	b1, b2 := servePhases(t, 0)
 	if a1 != b1 || a2 != b2 {
 		t.Errorf("seeded phases not repeatable:\n a=%+v/%+v\n b=%+v/%+v", a1, a2, b1, b2)
+	}
+}
+
+// alertPhase builds a small co-resident fleet with SLO windows armed
+// and replays a fixed mini-storm — a device kill plus a thermal
+// excursion on serving nodes under static shedding — returning the
+// alert transition log and the final burn state. Everything observable
+// advances only at heartbeat barriers, so the bytes must not depend on
+// the batch quantum or the worker count.
+func alertPhase(t *testing.T, quantum, workers int) (string, string) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.RouterShards = 4
+	cfg.BatchQuantum = quantum
+	cfg.ServeWorkers = workers
+	cfg.SLOWindowTicks = []int{2, 8, 24, 48}
+	cfg.SlotRes = hdl.Resources{LUT: 200_000, REG: 300_000, BRAM: 512, URAM: 96, DSP: 2_048}
+	const devices = 24
+	svcs, err := coresServices(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildCoResidentCluster(cfg, svcs, devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	serve := func(d sim.Time, seed int64) {
+		t.Helper()
+		if _, err := c.ServeMulti(d, coresTraffics(seed, int(seed))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serve(200*sim.Microsecond, 1)
+	// Thermal excursion: three serving nodes pushed past the degrade
+	// alarm keep taking traffic under static shedding — unhealthy
+	// serves burn the error budget and the page rules trip.
+	for _, n := range c.Nodes()[:3] {
+		if err := c.Overheat(n.ID, 70_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serve(400*sim.Microsecond, 2)
+	if err := c.Kill(c.Nodes()[5].ID); err != nil {
+		t.Fatal(err)
+	}
+	serve(400*sim.Microsecond, 3)
+	for _, n := range c.Nodes()[:3] {
+		if err := c.Cool(n.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tail: long enough for the slowest window (48 ticks) to drain and
+	// every alert to resolve.
+	serve(4*sim.Millisecond, 4)
+	return string(c.AlertLogBytes()), burnState(c)
+}
+
+// TestAlertDeterminism is the SLO layer's determinism contract: the
+// alert transition log and the final burn-rate state are byte-identical
+// across every batch quantum and worker count, because the SLO engine
+// advances only at heartbeat barriers on the serial control-plane path.
+func TestAlertDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alert determinism sweep is seconds-long; skipped in -short")
+	}
+	var baseLog, baseBurn string
+	first := true
+	for _, quantum := range []int{0, 64, 4096} {
+		for _, workers := range []int{1, 2, 8} {
+			log, burn := alertPhase(t, quantum, workers)
+			if first {
+				if !strings.Contains(log, "state=firing") {
+					t.Fatalf("mini-storm fired no alerts; log:\n%s", log)
+				}
+				if !strings.Contains(log, "state=resolved") {
+					t.Fatalf("alerts never resolved; log:\n%s", log)
+				}
+				baseLog, baseBurn = log, burn
+				first = false
+				continue
+			}
+			if log != baseLog {
+				t.Errorf("quantum=%d workers=%d: alert log diverges:\nbase:\n%s\ngot:\n%s",
+					quantum, workers, baseLog, log)
+			}
+			if burn != baseBurn {
+				t.Errorf("quantum=%d workers=%d: burn state diverges:\nbase:\n%s\ngot:\n%s",
+					quantum, workers, baseBurn, burn)
+			}
+		}
 	}
 }
 

@@ -171,6 +171,12 @@ type Config struct {
 	// ShedStartMilliC is where the derived penalty starts growing
 	// (0 = DegradeMilliC − 10°C).
 	ShedStartMilliC uint32
+	// SLOWindowTicks sizes the per-service SLO error-budget windows in
+	// heartbeat ticks, fast to slow (nil = {4, 16, 64, 256}). Burn
+	// rules pair the first two windows (page) and the last two
+	// (ticket). Windows advance only at heartbeat barriers, so SLO
+	// state never depends on worker count or batch quantum.
+	SLOWindowTicks []int
 }
 
 // DefaultConfig returns production-shaped control plane settings.
@@ -416,6 +422,9 @@ type Cluster struct {
 	// rebalance is the background rebalancer's barrier-stepped state
 	// (rebalance.go); nil until the first enable.
 	rebalance *rebalancer
+	// slo is the always-on SLO error-budget engine, advanced at
+	// heartbeat barriers (slo.go).
+	slo *sloEngine
 
 	// reg is the cluster's metrics registry: every layer registers
 	// read-through callbacks at construction, and the public stats
@@ -449,6 +458,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.RackP2C && cfg.RouterShards > 0 {
 		return nil, fmt.Errorf("fleet: RackP2C nests the shard layout in the racks; RouterShards must be 0")
 	}
+	for _, t := range cfg.SLOWindowTicks {
+		if t <= 0 {
+			return nil, fmt.Errorf("fleet: SLO window of %d ticks", t)
+		}
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		services:  make(map[string]*Service),
@@ -459,6 +473,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c.router = newRouter(c, cfg.Seed)
 	c.racks = &rackTier{c: c}
 	c.budget = &reconfigBudget{limit: cfg.MaxConcurrentLoads}
+	c.slo = newSLOEngine(cfg)
 	c.reg = obs.NewRegistry()
 	c.registerMetrics()
 	if cfg.Rebalance {
@@ -513,6 +528,7 @@ func (c *Cluster) AddService(s Service) error {
 	c.services[s.Name] = &svc
 	c.svcOrder = append(c.svcOrder, s.Name)
 	c.registerServiceMetrics(s.Name)
+	c.sloAddService(&svc)
 	return nil
 }
 

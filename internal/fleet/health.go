@@ -156,9 +156,7 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 	c.router.idx.mature(now)
 	if c.cfg.GossipHealth {
 		t := c.gossipHeartbeat(now)
-		c.drainElectives(now)
-		c.stepRebalance(now)
-		c.rackRefresh(now)
+		c.barrierTail(now)
 		return t
 	}
 	before := len(c.transitions)
@@ -204,12 +202,22 @@ func (c *Cluster) Heartbeat(now sim.Time) []Transition {
 		e.K3, e.V3 = "probed", int64(probed)
 		c.ctrl.Add(e)
 	}
-	// Failovers this sweep have already taken their grants; whatever
-	// headroom remains goes to queued elective scale-outs.
+	c.barrierTail(now)
+	return c.transitions[before:]
+}
+
+// barrierTail is the serial end-of-barrier work both heartbeat paths
+// share: failovers this sweep have already taken their grants, so
+// whatever budget headroom remains goes to queued elective
+// scale-outs; the rebalancer steps its move state machine; the rack
+// tier refreshes its frozen digests; and the SLO engine folds the
+// barrier's per-service deltas into its error-budget windows and runs
+// the burn-rate alerter.
+func (c *Cluster) barrierTail(now sim.Time) {
 	c.drainElectives(now)
 	c.stepRebalance(now)
 	c.rackRefresh(now)
-	return c.transitions[before:]
+	c.stepSLO(now)
 }
 
 // RunMonitorUntil advances the periodic health monitor to cover

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"harmonia/internal/obs"
+	"harmonia/internal/sim"
 )
 
 // The cluster's observability wiring. Every control-plane and serving
@@ -40,6 +41,12 @@ const (
 	mLoadsPeak       = "harmonia_pr_loads_peak_concurrent"
 	mLoadsPreempted  = "harmonia_pr_loads_preempted_total"
 	mElectivesQueued = "harmonia_pr_electives_queued"
+
+	mRouteLatencyHist = "harmonia_route_latency_window_hist_ps"
+
+	mSLOBurn    = "harmonia_slo_burn_rate"
+	mSLOP99Viol = "harmonia_slo_p99_violation_fraction"
+	mAlerts     = "harmonia_alerts_total"
 
 	mSvcSent    = "harmonia_service_sent_total"
 	mSvcServed  = "harmonia_service_served_total"
@@ -93,6 +100,17 @@ func (c *Cluster) registerMetrics() {
 				P99:   float64(h.Percentile(99)),
 				Max:   float64(h.Max()),
 			}
+		})
+
+	reg.HistogramM(mRouteLatencyHist,
+		"Routed-packet latency over the current window (native histogram, ps).",
+		func() obs.HistSnapshot {
+			h := c.router.windowHist()
+			snap := obs.HistSnapshot{Count: h.Count(), Sum: float64(h.Sum())}
+			h.CumBuckets(func(upper sim.Time, cum int64) {
+				snap.Buckets = append(snap.Buckets, obs.HistBucket{LE: float64(upper), Count: cum})
+			})
+			return snap
 		})
 
 	// Command path (CmdDriver counters summed across nodes).

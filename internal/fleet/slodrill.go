@@ -1,0 +1,425 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"harmonia/internal/faults"
+	"harmonia/internal/hdl"
+	"harmonia/internal/obs"
+	"harmonia/internal/sim"
+)
+
+// The fleet10 SLO drill replays the fleet5 failure storm over the
+// fleet8 co-resident fleet and judges the new SLO layer end to end:
+// the latency-critical services' burn-rate alerts must fire during
+// the storm, every firing must be attributed by the postmortem engine
+// to at least one ground-truth scheduled fault, a fault-free control
+// replay of the same fleet must stay silent, every alert must resolve
+// within the recovery bound, and the whole alert/burn state must be
+// byte-identical across batch quanta and worker counts (the engine
+// advances only at heartbeat barriers, so this is a direct check of
+// the determinism contract).
+
+// sloWindowTicks sizes the drill's rolling windows: the storm spans
+// ~6 ms and the drill ~16 ms, so the stock {4,16,64,256} tick set
+// (slowest window 12.8 ms) could not drain before the drill ends.
+// {2,8,24,48} ticks = 100µs/400µs/1.2ms/2.4ms keeps the page pair
+// spike-sensitive and lets the ticket pair resolve inside the tail.
+var sloWindowTicks = []int{2, 8, 24, 48}
+
+// sloSweep is the (BatchQuantum, ServeWorkers) determinism sweep: the
+// alert log and final burn state must come out byte-identical for
+// every variant.
+var sloSweep = [][2]int{{0, 1}, {64, 2}, {4096, 8}}
+
+// SLOOptions shapes the fleet10 drill.
+type SLOOptions struct {
+	// Devices is the shared fleet size (tentpole configuration 120).
+	Devices int
+	// Budget is the concurrent PR-load cap.
+	Budget int
+	// Seed drives the storm schedule, traffic and router sampling.
+	Seed int64
+	// Trace, when set, records the baseline storm case (plus the
+	// storm plan) into a trace process.
+	Trace *obs.Recorder
+}
+
+// DefaultSLOOptions returns the tentpole fleet10 configuration.
+func DefaultSLOOptions() SLOOptions {
+	return SLOOptions{Devices: 120, Budget: 6, Seed: 11}
+}
+
+// SLOWindowSample is one measurement window of the drill's baseline
+// storm case.
+type SLOWindowSample struct {
+	At sim.Time
+	// LCAvailability is the layer-4 LB's healthy-served/sent inside
+	// the window (1 when it offered nothing).
+	LCAvailability float64
+	// ActiveAlerts counts rules pending or firing at the window edge.
+	ActiveAlerts int
+}
+
+// SLOServiceResult is one service's storm outcome through the SLO
+// engine's eyes.
+type SLOServiceResult struct {
+	Name   string
+	Class  ServiceClass
+	Target float64
+	// Availability is healthy-served/sent over the whole storm.
+	Availability float64
+	// PeakFastBurn is the highest fast-window burn rate any barrier
+	// saw (sampled at window edges).
+	PeakFastBurn float64
+	// Firings/Resolves count this service's alert transitions.
+	Firings  int64
+	Resolves int64
+}
+
+// SLOResult is the fleet10 report.
+type SLOResult struct {
+	Devices  int
+	RackSize int
+	Seed     int64
+	Budget   int
+
+	StormStart, StormEnd sim.Time
+	Injections           []string
+	Windows              []obs.SLOWindow
+	Rules                []obs.BurnRule
+
+	Services []SLOServiceResult
+	Samples  []SLOWindowSample
+
+	// Alerts is the baseline storm case's full transition log;
+	// AlertLog its fixed-format rendering.
+	Alerts   []obs.AlertEvent
+	AlertLog string
+
+	// Lookback is the attribution window each firing is correlated
+	// over, derived from the detection bound and the PR-load retry
+	// budget.
+	Lookback    sim.Time
+	Postmortems []obs.AlertPostmortem
+	// Timeline is the human-readable postmortem report.
+	Timeline string
+
+	// Gate (a): firings and attribution.
+	FiringsTotal        int
+	FiringsLC           int
+	UnattributedFirings int
+	// Control case: the same fleet, traffic and scale-out with zero
+	// injections.
+	ControlFirings      int
+	ControlAttributions int
+
+	// Gate (b): resolution.
+	AllResolved    bool
+	LastResolvedAt sim.Time
+	RecoveryBound  sim.Time
+
+	// Gate (c): determinism sweep over (quantum, workers).
+	SweepVariants      []string
+	DeterministicSweep bool
+
+	// Metrics is the baseline case's end-of-storm registry snapshot;
+	// Registry the live registry for Prometheus export.
+	Metrics  map[string]float64
+	Registry *obs.Registry
+}
+
+// sloCase is one full replay's outcome.
+type sloCase struct {
+	c        *Cluster
+	alerts   []obs.AlertEvent
+	alertLog []byte
+	burn     string
+	causal   []obs.CausalEvent
+	samples  []SLOWindowSample
+	peakFast map[string]float64
+	pre      map[string]ServiceSnapshot
+}
+
+// burnState renders every (service, window) burn rate in a fixed
+// order — the sweep's second byte-comparison surface next to the
+// alert log.
+func burnState(c *Cluster) string {
+	var b strings.Builder
+	for _, name := range c.Services() {
+		for wi, w := range c.SLOWindows() {
+			fmt.Fprintf(&b, "%s|%s=%.9f\n", name, w.Name, c.BurnRate(name, wi))
+		}
+	}
+	return b.String()
+}
+
+// runSLOCase replays the storm (or, with inject false, a fault-free
+// control) against a fresh co-resident fleet with the SLO windows
+// armed and the given determinism-sweep variant.
+func runSLOCase(opts SLOOptions, sched *faults.Schedule, quantum, workers int, inject bool, trace *obs.Recorder) (*sloCase, error) {
+	cfg := DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.GossipHealth = true
+	cfg.GossipFanout = 32
+	cfg.GossipPiggyback = 8
+	cfg.RackP2C = true
+	cfg.SnapshotEvery = 1
+	// Static shedding, deliberately: with the derived-shedding defense
+	// armed the co-resident fleet heals the storm losslessly (fleet8's
+	// artifact records availability 1.0), so there is nothing for an
+	// alert to detect. The SLO layer's job is to catch the fleet when
+	// a defense is imperfect — static thermal shedding keeps degraded
+	// nodes serving (unhealthy serves burn the error budget, exactly
+	// as in fleet5's static cases) and gives the storm a real,
+	// attributable availability signature.
+	cfg.DerivedShedding = false
+	cfg.SlotRes = hdl.Resources{LUT: 200_000, REG: 300_000, BRAM: 512, URAM: 96, DSP: 2_048}
+	cfg.SLOWindowTicks = sloWindowTicks
+	cfg.BatchQuantum = quantum
+	cfg.ServeWorkers = workers
+
+	svcs, err := coresServices(opts.Devices)
+	if err != nil {
+		return nil, err
+	}
+	c, err := BuildCoResidentCluster(cfg, svcs, opts.Devices)
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		c.SetTrace(trace.Process("slo-storm"))
+	}
+	c.RunMonitorUntil(2 * cfg.ReconfigTime)
+	if _, err := c.ServeMulti(chaosWarmup, coresTraffics(opts.Seed, -1)); err != nil {
+		return nil, err
+	}
+	c.SetLoadBudget(opts.Budget)
+	stormStart := c.Now()
+	if stormStart != sched.Spec.Start {
+		return nil, fmt.Errorf("fleet: storm scheduled for %v but warmup ended at %v",
+			sched.Spec.Start, stormStart)
+	}
+	if err := c.ScaleService(stormStart, coresBulkApp, coresScaleOutFor(opts.Budget)); err != nil {
+		return nil, err
+	}
+
+	cs := &sloCase{
+		c:        c,
+		peakFast: make(map[string]float64),
+		pre:      make(map[string]ServiceSnapshot),
+	}
+	names := c.Services()
+	for _, name := range names {
+		cs.pre[name] = c.ServiceStats(name)
+	}
+	nodes := c.Nodes()
+	winStats := make(map[string]ServiceSnapshot, len(names))
+	injIdx := 0
+	for w := 0; w < chaosWindows; w++ {
+		winEnd := stormStart + sim.Time(w+1)*chaosWindowDur
+		if inject {
+			for injIdx < len(sched.Injections) && sched.Injections[injIdx].At < winEnd {
+				if err := applyInjection(c, nodes, sched.Injections[injIdx]); err != nil {
+					return nil, fmt.Errorf("fleet: injection %v: %w", sched.Injections[injIdx], err)
+				}
+				injIdx++
+			}
+		}
+		for _, name := range names {
+			winStats[name] = c.ServiceStats(name)
+		}
+		if _, err := c.ServeMulti(chaosWindowDur, coresTraffics(opts.Seed, w)); err != nil {
+			return nil, err
+		}
+		sample := SLOWindowSample{At: c.Now(), ActiveAlerts: c.ActiveAlerts()}
+		for _, name := range names {
+			before := winStats[name]
+			after := c.ServiceStats(name)
+			if name == chaosApp {
+				sample.LCAvailability = 1
+				if d := after.Sent - before.Sent; d > 0 {
+					sample.LCAvailability = float64(after.HealthyServed-before.HealthyServed) / float64(d)
+				}
+			}
+			// The class shedding order showing up as bulk shed deltas is
+			// itself postmortem evidence: sheds inside an alert's
+			// lookback explain where the lost demand went.
+			if shed := after.Shed - before.Shed; shed > 0 {
+				cs.causal = append(cs.causal, obs.CausalEvent{
+					At: c.Now(), Kind: "bulk-shed", Subject: name,
+					Detail: fmt.Sprintf("%d pkts", shed),
+				})
+			}
+			if burn := c.BurnRate(name, 0); burn > cs.peakFast[name] {
+				cs.peakFast[name] = burn
+			}
+		}
+		cs.samples = append(cs.samples, sample)
+	}
+
+	cs.alerts = c.AlertEvents()
+	cs.alertLog = c.AlertLogBytes()
+	cs.burn = burnState(c)
+	cs.causal = append(cs.causal, c.CausalEvents(stormStart)...)
+	if inject {
+		ids := func(node int) string {
+			if node >= 0 && node < len(nodes) {
+				return nodes[node].ID
+			}
+			return fmt.Sprintf("node-%d", node)
+		}
+		cs.causal = append(cs.causal, sched.CausalEvents(ids)...)
+	}
+	return cs, nil
+}
+
+// SLODrill runs the fleet10 experiment: the seeded storm over the
+// co-resident fleet with the SLO engine judging it, plus the
+// fault-free control and the determinism sweep.
+func SLODrill(opts SLOOptions) (*SLOResult, error) {
+	if opts.Devices < 8 {
+		return nil, fmt.Errorf("fleet: SLO drill needs at least 8 devices, got %d", opts.Devices)
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("fleet: SLO drill needs a positive budget, got %d", opts.Budget)
+	}
+	spec := faults.DefaultStorm(opts.Devices, opts.Seed)
+	spec.Start = 2*DefaultConfig().ReconfigTime + chaosWarmup
+	// Same ramp slowdown as the co-residency drill: band residency
+	// must be observable at window granularity.
+	spec.ThermalEvery = 2 * chaosWindowDur
+	spec.ThermalCoolAt = 40 * chaosWindowDur
+	spec.ThermalNodes = opts.Devices / 40
+	if spec.ThermalNodes < 2 {
+		spec.ThermalNodes = 2
+	}
+	sched, err := faults.Storm(spec)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Trace != nil {
+		sched.Trace(opts.Trace.Process("storm-plan").Track("schedule"))
+	}
+
+	res := &SLOResult{
+		Devices: opts.Devices, RackSize: spec.RackSize,
+		Seed: opts.Seed, Budget: opts.Budget,
+		StormStart: spec.Start, StormEnd: sched.End(),
+	}
+	for _, inj := range sched.Injections {
+		res.Injections = append(res.Injections, inj.String())
+	}
+
+	// The determinism sweep: the first variant is the baseline the
+	// report describes; every later variant must reproduce its alert
+	// log and burn state byte for byte.
+	var base *sloCase
+	res.DeterministicSweep = true
+	for i, v := range sloSweep {
+		var tr *obs.Recorder
+		if i == 0 {
+			tr = opts.Trace
+		}
+		cs, err := runSLOCase(opts, sched, v[0], v[1], true, tr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: slo case quantum=%d workers=%d: %w", v[0], v[1], err)
+		}
+		res.SweepVariants = append(res.SweepVariants, fmt.Sprintf("quantum=%d workers=%d", v[0], v[1]))
+		if i == 0 {
+			base = cs
+			continue
+		}
+		if !bytes.Equal(cs.alertLog, base.alertLog) || cs.burn != base.burn {
+			res.DeterministicSweep = false
+		}
+	}
+	c := base.c
+	cfg := c.Config()
+
+	res.Windows = c.SLOWindows()
+	res.Rules = c.AlertRules()
+	res.Samples = base.samples
+	res.Alerts = base.alerts
+	res.AlertLog = string(base.alertLog)
+
+	// Attribution lookback: a firing can trail its root cause by the
+	// gossip detection bound (silent death → declared failed) plus the
+	// full PR-load retry budget (failed loads re-place and retry
+	// before demand recovers) plus one mid window of burn accumulation.
+	res.Lookback = c.GossipDetectionBound() +
+		sim.Time(cfg.LoadRetries+1)*cfg.ReconfigTime +
+		sim.Time(sloWindowTicks[1])*cfg.Heartbeat
+	res.Postmortems = obs.Correlate(base.alerts, base.causal, res.Lookback)
+	res.Timeline = string(obs.RenderTimeline(res.Postmortems))
+
+	classOf := func(svc string) ServiceClass { return c.services[svc].Class }
+	for _, pm := range res.Postmortems {
+		res.FiringsTotal++
+		if classOf(pm.Alert.Service) == ClassLatencyCritical {
+			res.FiringsLC++
+		}
+		if !pm.Scheduled() {
+			res.UnattributedFirings++
+		}
+	}
+
+	// Resolution gate: every alert resolved, and the last resolution
+	// inside the measured recovery bound — the storm's end or the last
+	// failover's completed re-placement, whichever is later, plus the
+	// slowest window's drain time and the resolve hysteresis.
+	res.AllResolved = c.ActiveAlerts() == 0
+	for _, ev := range base.alerts {
+		if ev.State == obs.AlertResolved && ev.At > res.LastResolvedAt {
+			res.LastResolvedAt = ev.At
+		}
+	}
+	recovered := res.StormEnd
+	for _, f := range c.Failovers() {
+		if f.RecoveredAt > recovered {
+			recovered = f.RecoveredAt
+		}
+	}
+	slowest := sim.Time(sloWindowTicks[len(sloWindowTicks)-1]) * cfg.Heartbeat
+	res.RecoveryBound = recovered + slowest + sim.Time(alertResolveTicks+2)*cfg.Heartbeat
+
+	// Per-service storm outcomes.
+	log := c.slo.alerter.Log()
+	for _, name := range c.Services() {
+		svc := c.services[name]
+		before := base.pre[name]
+		after := c.ServiceStats(name)
+		sr := SLOServiceResult{
+			Name: name, Class: svc.Class, Target: svc.SLO.Availability,
+			PeakFastBurn: base.peakFast[name],
+			Firings:      log.Count(name, "", obs.AlertFiring),
+			Resolves:     log.Count(name, "", obs.AlertResolved),
+		}
+		if d := after.Sent - before.Sent; d > 0 {
+			sr.Availability = float64(after.HealthyServed-before.HealthyServed) / float64(d)
+		}
+		res.Services = append(res.Services, sr)
+	}
+
+	// Control: the same fleet, traffic and elective scale-out with
+	// zero injections must produce zero firings and zero attributions.
+	ctl, err := runSLOCase(opts, sched, sloSweep[0][0], sloSweep[0][1], false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: slo control case: %w", err)
+	}
+	ctlPMs := obs.Correlate(ctl.alerts, ctl.causal, res.Lookback)
+	for _, ev := range ctl.alerts {
+		if ev.State == obs.AlertFiring {
+			res.ControlFirings++
+		}
+	}
+	for _, pm := range ctlPMs {
+		res.ControlAttributions += len(pm.Causes)
+	}
+
+	res.Registry = c.Metrics()
+	res.Metrics = res.Registry.Values()
+	return res, nil
+}

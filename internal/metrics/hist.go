@@ -135,6 +135,28 @@ func (h *Histogram) Percentile(p float64) sim.Time {
 	return h.max
 }
 
+// CumBuckets calls f for each non-empty bucket in ascending order
+// with the bucket's inclusive upper bound and the cumulative sample
+// count through it — the shape a Prometheus histogram exposition
+// needs. The final upper bound is clamped to the exact Max so the
+// last bucket never overstates the distribution's reach.
+func (h *Histogram) CumBuckets(f func(upper sim.Time, cum int64)) {
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		upper := h.max
+		if i+1 < histBuckets {
+			if u := histLower(i+1) - 1; u < upper {
+				upper = u
+			}
+		}
+		f(upper, cum)
+	}
+}
+
 // Sum reports the exact total of the recorded samples.
 func (h *Histogram) Sum() sim.Time { return h.sum }
 

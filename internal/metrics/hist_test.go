@@ -140,3 +140,44 @@ func TestLatenciesMinMaxIncremental(t *testing.T) {
 		t.Errorf("P50 = %v, want 50", got)
 	}
 }
+
+func TestHistogramCumBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []sim.Time{3, 3, 40, 1000, 1000, 1000} {
+		h.Add(v)
+	}
+	var uppers []sim.Time
+	var cums []int64
+	h.CumBuckets(func(upper sim.Time, cum int64) {
+		uppers = append(uppers, upper)
+		cums = append(cums, cum)
+	})
+	if len(cums) == 0 {
+		t.Fatal("CumBuckets visited nothing")
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] <= cums[i-1] || uppers[i] <= uppers[i-1] {
+			t.Fatalf("not strictly increasing: uppers=%v cums=%v", uppers, cums)
+		}
+	}
+	if cums[len(cums)-1] != h.Count() {
+		t.Errorf("last cumulative %d != count %d", cums[len(cums)-1], h.Count())
+	}
+	if last := uppers[len(uppers)-1]; last != h.Max() {
+		t.Errorf("last upper %v clamps to max %v", last, h.Max())
+	}
+	// Every recorded value is covered by the bucket it fell into: the
+	// first cumulative bucket with upper >= 3 holds both 3s.
+	for i, u := range uppers {
+		if u >= 3 {
+			if cums[i] < 2 {
+				t.Errorf("bucket upper %v holds %d, want >= 2", u, cums[i])
+			}
+			break
+		}
+		_ = i
+	}
+	// An empty histogram visits nothing.
+	var empty Histogram
+	empty.CumBuckets(func(sim.Time, int64) { t.Error("empty histogram visited a bucket") })
+}

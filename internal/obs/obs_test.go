@@ -209,6 +209,62 @@ func TestWritePromMergesRegistries(t *testing.T) {
 	}
 }
 
+func TestWritePromHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.HistogramM("harmonia_lat_ps", "latency histogram", func() HistSnapshot {
+		return HistSnapshot{
+			Buckets: []HistBucket{{LE: 100, Count: 2}, {LE: 500, Count: 5}},
+			Sum:     700, Count: 5,
+		}
+	})
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE harmonia_lat_ps histogram",
+		`harmonia_lat_ps_bucket{le="100"} 2`,
+		`harmonia_lat_ps_bucket{le="500"} 5`,
+		`harmonia_lat_ps_bucket{le="+Inf"} 5`,
+		"harmonia_lat_ps_sum 700",
+		"harmonia_lat_ps_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The +Inf bucket renders after the finite ones.
+	if strings.Index(out, `le="500"`) > strings.Index(out, `le="+Inf"`) {
+		t.Fatalf("buckets out of order:\n%s", out)
+	}
+	vals := reg.Values()
+	if vals["harmonia_lat_ps_count"] != 5 || vals["harmonia_lat_ps_sum"] != 700 {
+		t.Fatalf("Values snapshot wrong: %v", vals)
+	}
+}
+
+func TestWritePromSortsSeriesByLabels(t *testing.T) {
+	reg := NewRegistry()
+	// Registered deliberately out of label order.
+	for _, svc := range []string{"zeta", "alpha", "mid"} {
+		svc := svc
+		reg.GaugeL("harmonia_slo_burn_rate", map[string]string{"service": svc, "window": "2t"},
+			"burn", func() float64 { return 1 })
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	iAlpha := strings.Index(out, `service="alpha"`)
+	iMid := strings.Index(out, `service="mid"`)
+	iZeta := strings.Index(out, `service="zeta"`)
+	if iAlpha < 0 || iMid < 0 || iZeta < 0 || !(iAlpha < iMid && iMid < iZeta) {
+		t.Fatalf("series not sorted by label value:\n%s", out)
+	}
+}
+
 func TestValuesExpandsSummaries(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("c_total", "", func() int64 { return 3 })

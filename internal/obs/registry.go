@@ -29,11 +29,29 @@ type Summary struct {
 	Max   float64
 }
 
+// HistBucket is one cumulative bucket of a histogram snapshot: the
+// number of samples at or below the upper bound LE.
+type HistBucket struct {
+	LE    float64
+	Count int64
+}
+
+// HistSnapshot is a native-histogram snapshot a histogram metric's
+// callback returns: cumulative buckets in ascending LE order (the
+// implicit +Inf bucket is Count), plus exact sum and count. Typically
+// rendered from a metrics.Histogram via CumBuckets.
+type HistSnapshot struct {
+	Buckets []HistBucket
+	Sum     float64
+	Count   int64
+}
+
 // metric kinds (Prometheus TYPE line values).
 const (
-	kindCounter = "counter"
-	kindGauge   = "gauge"
-	kindSummary = "summary"
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindSummary   = "summary"
+	kindHistogram = "histogram"
 )
 
 // series is one registered time series: a name, optional per-series
@@ -43,6 +61,7 @@ type series struct {
 	labels string // pre-rendered `k="v",...`, sorted; "" when unlabeled
 	readF  func() float64
 	readS  func() Summary
+	readH  func() HistSnapshot
 }
 
 // metricFamily groups the series of one metric name with its metadata.
@@ -109,7 +128,7 @@ func escapeLabel(v string) string {
 
 // register adds one series, creating its family on first use.
 // Duplicate (name, labels) registration panics: it is a wiring bug.
-func (r *Registry) register(name, labels, help, kind string, readF func() float64, readS func() Summary) {
+func (r *Registry) register(name, labels, help, kind string, readF func() float64, readS func() Summary, readH func() HistSnapshot) {
 	if name == "" {
 		panic("obs: metric needs a name")
 	}
@@ -128,33 +147,41 @@ func (r *Registry) register(name, labels, help, kind string, readF func() float6
 			panic(fmt.Sprintf("obs: duplicate metric %s{%s}", name, labels))
 		}
 	}
-	fam.series = append(fam.series, &series{name: name, labels: labels, readF: readF, readS: readS})
+	fam.series = append(fam.series, &series{name: name, labels: labels, readF: readF, readS: readS, readH: readH})
 }
 
 // Counter registers a monotonic counter read from the callback.
 func (r *Registry) Counter(name, help string, read func() int64) {
-	r.register(name, "", help, kindCounter, func() float64 { return float64(read()) }, nil)
+	r.register(name, "", help, kindCounter, func() float64 { return float64(read()) }, nil, nil)
 }
 
 // CounterL registers a labeled counter series.
 func (r *Registry) CounterL(name string, labels map[string]string, help string, read func() int64) {
 	r.register(name, renderLabels(labels), help, kindCounter,
-		func() float64 { return float64(read()) }, nil)
+		func() float64 { return float64(read()) }, nil, nil)
 }
 
 // Gauge registers a gauge read from the callback.
 func (r *Registry) Gauge(name, help string, read func() float64) {
-	r.register(name, "", help, kindGauge, read, nil)
+	r.register(name, "", help, kindGauge, read, nil, nil)
 }
 
 // GaugeL registers a labeled gauge series.
 func (r *Registry) GaugeL(name string, labels map[string]string, help string, read func() float64) {
-	r.register(name, renderLabels(labels), help, kindGauge, read, nil)
+	r.register(name, renderLabels(labels), help, kindGauge, read, nil, nil)
 }
 
 // SummaryM registers a quantile summary read from the callback.
 func (r *Registry) SummaryM(name, help string, read func() Summary) {
-	r.register(name, "", help, kindSummary, nil, read)
+	r.register(name, "", help, kindSummary, nil, read, nil)
+}
+
+// HistogramM registers a native Prometheus histogram read from the
+// callback: rendered as cumulative `_bucket{le="..."}` lines plus
+// `_sum`/`_count`, so external scrapers see the same distribution the
+// summary quantiles are computed from.
+func (r *Registry) HistogramM(name, help string, read func() HistSnapshot) {
+	r.register(name, "", help, kindHistogram, nil, nil, read)
 }
 
 // Value reads one unlabeled counter or gauge by name. ok is false for
@@ -207,6 +234,15 @@ func (r *Registry) Values() map[string]float64 {
 				out[key] = s.readF()
 				continue
 			}
+			if s.readH != nil {
+				// Histograms expand to count/sum only: per-bucket
+				// entries would bloat drill JSON without adding
+				// information the .prom artifact doesn't carry.
+				h := s.readH()
+				out[key+"_count"] = float64(h.Count)
+				out[key+"_sum"] = h.Sum
+				continue
+			}
 			sum := s.readS()
 			out[key+"_count"] = float64(sum.Count)
 			out[key+"_sum"] = sum.Sum
@@ -257,7 +293,15 @@ func WriteProm(w io.Writer, regs ...*Registry) error {
 				}
 				fmt.Fprintf(bw, "# TYPE %s %s\n", name, fam.kind)
 			}
-			for _, s := range fam.series {
+			// Series render sorted by label string within the family,
+			// so same-seed runs emit byte-identical expositions
+			// regardless of registration order.
+			ordered := make([]*series, len(fam.series))
+			copy(ordered, fam.series)
+			sort.SliceStable(ordered, func(i, j int) bool {
+				return ordered[i].labels < ordered[j].labels
+			})
+			for _, s := range ordered {
 				writeSeries(bw, s, r.constLabels)
 			}
 			r.mu.Unlock()
@@ -292,14 +336,6 @@ func writeSeries(bw *bufio.Writer, s *series, constLabels string) {
 		}
 		return s.name + "{" + l + "}"
 	}
-	if s.readF != nil {
-		fmt.Fprintf(bw, "%s %s\n", nameWith(""), promFloat(s.readF()))
-		return
-	}
-	sum := s.readS()
-	fmt.Fprintf(bw, "%s %s\n", nameWith(`quantile="0.5"`), promFloat(sum.P50))
-	fmt.Fprintf(bw, "%s %s\n", nameWith(`quantile="0.99"`), promFloat(sum.P99))
-	fmt.Fprintf(bw, "%s %s\n", nameWith(`quantile="1"`), promFloat(sum.Max))
 	suffixed := func(suffix, extra string) string {
 		l := joinLabels(base, extra)
 		if l == "" {
@@ -307,6 +343,24 @@ func writeSeries(bw *bufio.Writer, s *series, constLabels string) {
 		}
 		return s.name + suffix + "{" + l + "}"
 	}
+	if s.readF != nil {
+		fmt.Fprintf(bw, "%s %s\n", nameWith(""), promFloat(s.readF()))
+		return
+	}
+	if s.readH != nil {
+		h := s.readH()
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s %d\n", suffixed("_bucket", `le="`+promFloat(b.LE)+`"`), b.Count)
+		}
+		fmt.Fprintf(bw, "%s %d\n", suffixed("_bucket", `le="+Inf"`), h.Count)
+		fmt.Fprintf(bw, "%s %s\n", suffixed("_sum", ""), promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s %d\n", suffixed("_count", ""), h.Count)
+		return
+	}
+	sum := s.readS()
+	fmt.Fprintf(bw, "%s %s\n", nameWith(`quantile="0.5"`), promFloat(sum.P50))
+	fmt.Fprintf(bw, "%s %s\n", nameWith(`quantile="0.99"`), promFloat(sum.P99))
+	fmt.Fprintf(bw, "%s %s\n", nameWith(`quantile="1"`), promFloat(sum.Max))
 	fmt.Fprintf(bw, "%s %s\n", suffixed("_sum", ""), promFloat(sum.Sum))
 	fmt.Fprintf(bw, "%s %d\n", suffixed("_count", ""), sum.Count)
 }

@@ -60,6 +60,12 @@ const (
 	// (planned, pre-copy, delta-replay), cutover and rebuild instants,
 	// and abort instants with their reason.
 	CatRebalance Cat = "rebalance"
+	// CatSLO covers error-budget accounting: per-service burn-rate
+	// change instants emitted at heartbeat barriers.
+	CatSLO Cat = "slo"
+	// CatAlert covers burn-rate alert state transitions
+	// (pending/firing/resolved).
+	CatAlert Cat = "alert"
 )
 
 // Event phase codes (Chrome trace-event "ph" field).
